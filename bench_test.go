@@ -1,0 +1,220 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, each
+// running the corresponding experiment end to end at Quick scale
+// (small topologies, tiny search budgets) and reporting its headline
+// metric. `cmd/experiments -run <id> -scale std` regenerates the same
+// artifact at the paper's topology sizes; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/opt"
+	"repro/internal/routing"
+	"repro/internal/topogen"
+	"repro/internal/traffic"
+)
+
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	opts := experiments.Options{Scale: experiments.Quick, Seed: 1, Out: io.Discard}
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, m := range metrics {
+				if v, ok := rep.Get(m); ok {
+					b.ReportMetric(v, m)
+				}
+			}
+		}
+	}
+}
+
+// Table I: critical vs full search accuracy across topologies.
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, "table1", "beta_full_RandTopo", "beta_crt_RandTopo_15")
+}
+
+// Section IV-E1 high-load variant of Table I.
+func BenchmarkTable1HighLoad(b *testing.B) {
+	benchExperiment(b, "table1hl", "beta_full", "beta_crt_25")
+}
+
+// Section IV-E2 computational savings of the critical search.
+func BenchmarkSavings(b *testing.B) {
+	benchExperiment(b, "savings", "phase2_evals_critical", "phase2_evals_full")
+}
+
+// Table II: SLA violations with and without robust optimization.
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, "table2", "avg_robust_RandTopo", "avg_regular_RandTopo")
+}
+
+// Table III: network-size sweep.
+func BenchmarkTable3(b *testing.B) {
+	benchExperiment(b, "table3")
+}
+
+// Table IV: node-degree sweep.
+func BenchmarkTable4(b *testing.B) {
+	benchExperiment(b, "table4")
+}
+
+// Table V: SLA-bound sweep.
+func BenchmarkTable5(b *testing.B) {
+	benchExperiment(b, "table5", "viol_regular_theta25", "viol_robust_theta25")
+}
+
+// Fig. 3: per-failure violations and throughput cost.
+func BenchmarkFig3(b *testing.B) {
+	benchExperiment(b, "fig3", "avg_viol_robust", "avg_viol_regular")
+}
+
+// Fig. 4: post-failure load spread, RandTopo vs NearTopo.
+func BenchmarkFig4(b *testing.B) {
+	benchExperiment(b, "fig4", "mean_links_increased_RandTopo", "mean_links_increased_NearTopo")
+}
+
+// Fig. 5(a): medium vs high load.
+func BenchmarkFig5a(b *testing.B) {
+	benchExperiment(b, "fig5a", "avg_viol_robust_high", "avg_viol_regular_high")
+}
+
+// Fig. 5(b),(c): delay distributions vs SLA bound.
+func BenchmarkFig5bc(b *testing.B) {
+	benchExperiment(b, "fig5bc", "mean_delay_RandTopo_theta25", "mean_delay_RandTopo_theta100")
+}
+
+// Fig. 5(d): max utilization of delay-carrying links.
+func BenchmarkFig5d(b *testing.B) {
+	benchExperiment(b, "fig5d", "mean_maxutil_theta30", "mean_maxutil_theta100")
+}
+
+// Fig. 6(a),(b): Gaussian traffic fluctuation.
+func BenchmarkFig6ab(b *testing.B) {
+	benchExperiment(b, "fig6ab", "avg_top10_viol_robust_perturbed", "avg_top10_viol_regular_perturbed")
+}
+
+// Fig. 6(c),(d): download hot-spot surges.
+func BenchmarkFig6cd(b *testing.B) {
+	benchExperiment(b, "fig6cd", "avg_top10_viol_robust_perturbed", "avg_top10_viol_regular_perturbed")
+}
+
+// Fig. 7(a),(b): node-failure robustness of three routings.
+func BenchmarkFig7ab(b *testing.B) {
+	benchExperiment(b, "fig7ab", "avg_viol_robust_node", "avg_viol_regular")
+}
+
+// Fig. 7(c),(d): link failures under the node-optimized routing.
+func BenchmarkFig7cd(b *testing.B) {
+	benchExperiment(b, "fig7cd", "avg_viol_robust_node", "avg_viol_robust_link")
+}
+
+// Ablation: critical-link selectors from prior work at equal |Ec|.
+func BenchmarkAblationSelectors(b *testing.B) {
+	benchExperiment(b, "ablation-selector")
+}
+
+// Ablation: left-tail fraction sensitivity.
+func BenchmarkAblationTail(b *testing.B) {
+	benchExperiment(b, "ablation-tail")
+}
+
+// Ablation: failure-emulation threshold q (emulated Phase 1b).
+func BenchmarkAblationQ(b *testing.B) {
+	benchExperiment(b, "ablation-q")
+}
+
+// Ablation: ECMP delay accounting (worst vs mean path).
+func BenchmarkAblationDelayMetric(b *testing.B) {
+	benchExperiment(b, "ablation-metric")
+}
+
+// Extension: double link failures under the single-link-robust routing.
+func BenchmarkExtDoubleFailure(b *testing.B) {
+	benchExperiment(b, "ext-double", "avg_viol_regular", "avg_viol_robust")
+}
+
+// Extension: topology augmentation against the unavoidable floor.
+func BenchmarkExtDesign(b *testing.B) {
+	benchExperiment(b, "ext-design", "floor_before_RandTopo", "floor_after_RandTopo")
+}
+
+// Micro-benchmarks of the evaluation engine, the inner loop everything
+// above is built on.
+
+func benchEvaluator(b *testing.B, nodes, links int) (*routing.Evaluator, *routing.WeightSetting) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g, err := topogen.Generate(topogen.Spec{Kind: topogen.RandKind, Nodes: nodes, DirectedLinks: links}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	demD, demT := traffic.Gravity(nodes, 1, 0.3, rng)
+	if _, err := routing.ScaleToAvgUtil(g, demD, demT, 0.43); err != nil {
+		b.Fatal(err)
+	}
+	ev := routing.NewEvaluator(g, demD, demT, cost.DefaultParams(), routing.WorstPath)
+	return ev, routing.RandomWeightSetting(links, 20, rng)
+}
+
+// BenchmarkEvaluateNormal30 measures one full network evaluation (both
+// classes routed, loads, delays, Λ, Φ) on the paper's standard 30-node
+// RandTopo.
+func BenchmarkEvaluateNormal30(b *testing.B) {
+	ev, w := benchEvaluator(b, 30, 180)
+	var res routing.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateNormal(w, &res)
+	}
+}
+
+// BenchmarkEvaluateNormal100 is the same on the Table III 100-node size.
+func BenchmarkEvaluateNormal100(b *testing.B) {
+	ev, w := benchEvaluator(b, 100, 500)
+	var res routing.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateNormal(w, &res)
+	}
+}
+
+// BenchmarkAllLinkFailureSweep30 measures a parallel sweep over all 180
+// single-link failures, the unit of work of a full-search Phase 2 step.
+func BenchmarkAllLinkFailureSweep30(b *testing.B) {
+	ev, w := benchEvaluator(b, 30, 180)
+	links := ev.AllLinks()
+	results := make([]routing.Result, len(links))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.SweepLinkFailures(w, links, false, results)
+	}
+}
+
+// BenchmarkPhase1Iteration measures the regular optimization at the unit
+// test budget on an 8-node network.
+func BenchmarkPhase1Iteration(b *testing.B) {
+	ev, _ := benchEvaluator(b, 8, 40)
+	cfg := opt.QuickConfig()
+	cfg.MaxIter1 = 4
+	cfg.P1 = 1
+	cfg.Div1Interval = 2
+	cfg.MaxTopUpBatches = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		opt.New(ev, cfg).RunPhase1()
+	}
+}

@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run table1 -scale std -seed 1
+//	experiments -run all -scale quick
+//	experiments -list
+//
+// Each experiment prints the paper-shaped rows (tables) or column series
+// (figures) on stdout; EXPERIMENTS.md maps ids to paper artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run, or 'all'")
+	scale := flag.String("scale", "std", "scale: quick|std|paper")
+	seed := flag.Int64("seed", 1, "base random seed")
+	reps := flag.Int("reps", 0, "repetitions per configuration (0 = scale default)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -run <id> required; -list shows ids")
+		os.Exit(2)
+	}
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := experiments.Options{Scale: sc, Seed: *seed, Reps: *reps, Out: os.Stdout}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("=== %s (scale=%s seed=%d) ===\n", id, *scale, *seed)
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		var parts []string
+		for _, m := range rep.Metrics {
+			parts = append(parts, fmt.Sprintf("%s=%.4g", m.Name, m.Value))
+		}
+		fmt.Printf("metrics: %s\n", strings.Join(parts, " "))
+		fmt.Printf("elapsed: %s\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,105 @@
+// Command topodesign suggests topology augmentations for robustness: it
+// computes the "unavoidable violation floor" (SLA violations after
+// single link failures that no routing can prevent, because the
+// surviving shortest propagation path already exceeds the bound) and
+// ranks candidate new edges by how much of that floor they remove — the
+// joint routing/topology design direction of the paper's conclusion.
+//
+// Usage:
+//
+//	topodesign -topology rand -nodes 30 -links 180 -sla 25 -add 3
+//	topodesign -topology isp -sla 25 -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/design"
+	"repro/internal/topogen"
+)
+
+func main() {
+	topology := flag.String("topology", "rand", "topology family: rand|near|pl|isp")
+	nodes := flag.Int("nodes", 30, "node count (synthetic)")
+	links := flag.Int("links", 180, "directed link count (rand/near)")
+	edgesPerNode := flag.Int("m", 3, "attachment count (pl)")
+	theta := flag.Float64("sla", 25, "SLA delay bound in ms")
+	diameter := flag.Float64("diameter", 25, "propagation diameter target in ms (synthetic)")
+	capacity := flag.Float64("capacity", 500, "capacity of suggested edges in Mbps")
+	top := flag.Int("top", 5, "show the best N candidate edges")
+	add := flag.Int("add", 0, "greedily add N edges and report the floor trajectory")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var kind topogen.Kind
+	switch *topology {
+	case "rand":
+		kind = topogen.RandKind
+	case "near":
+		kind = topogen.NearKind
+	case "pl":
+		kind = topogen.PLKind
+	case "isp":
+		kind = topogen.ISPKind
+	default:
+		fmt.Fprintf(os.Stderr, "topodesign: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+	g, err := topogen.Generate(topogen.Spec{
+		Kind:          kind,
+		Nodes:         *nodes,
+		DirectedLinks: *links,
+		EdgesPerNode:  *edgesPerNode,
+		DiameterMs:    *diameter,
+	}, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topodesign:", err)
+		os.Exit(1)
+	}
+
+	floor, perFailure := design.Floor(g, *theta)
+	worst, worstLink := 0, -1
+	for li, c := range perFailure {
+		if c > worst {
+			worst, worstLink = c, li
+		}
+	}
+	fmt.Printf("network: %s [%d,%d], SLA bound %gms\n", kind, g.NumNodes(), g.NumLinks(), *theta)
+	fmt.Printf("unavoidable violation floor: %d across %d failure scenarios (avg %.2f per failure)\n",
+		floor, g.NumLinks(), float64(floor)/float64(g.NumLinks()))
+	if worstLink >= 0 && worst > 0 {
+		l := g.Link(worstLink)
+		fmt.Printf("worst scenario: failing %s -> %s forces %d violations\n",
+			g.NodeName(l.From), g.NodeName(l.To), worst)
+	}
+
+	if *add > 0 {
+		fmt.Printf("\ngreedy augmentation (%d edges):\n", *add)
+		aug, chosen, err := design.GreedyAugment(g, *theta, *capacity, *add)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topodesign:", err)
+			os.Exit(1)
+		}
+		for i, c := range chosen {
+			fmt.Printf("  %d. add %s -- %s (%.1f ms): floor %d -> %d\n",
+				i+1, g.NodeName(c.U), g.NodeName(c.V), c.DelayMs, c.FloorAfter+c.Gain, c.FloorAfter)
+		}
+		final, _ := design.Floor(aug, *theta)
+		fmt.Printf("final floor: %d\n", final)
+		return
+	}
+
+	fmt.Printf("\nbest candidate edges by floor reduction:\n")
+	cands, err := design.RankAugmentations(g, *theta, *capacity, *top)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topodesign:", err)
+		os.Exit(1)
+	}
+	for i, c := range cands {
+		fmt.Printf("  %d. %s -- %s  delay %.1f ms  removes %d unavoidable violations\n",
+			i+1, g.NodeName(c.U), g.NodeName(c.V), c.DelayMs, c.Gain)
+	}
+}

@@ -1,0 +1,91 @@
+// Command topogen generates evaluation topologies and writes them as
+// JSON, for inspection or for feeding other tools.
+//
+// Usage:
+//
+//	topogen -kind rand -nodes 30 -links 180 -seed 1 > rand30.json
+//	topogen -kind isp -summary
+//	topogen -kind isp -dot | dot -Tsvg > isp.svg
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/topogen"
+)
+
+func main() {
+	kindF := flag.String("kind", "rand", "topology family: rand|near|pl|isp")
+	nodes := flag.Int("nodes", 30, "node count")
+	links := flag.Int("links", 180, "directed link count (rand/near)")
+	edgesPerNode := flag.Int("m", 3, "attachment count (pl)")
+	capacity := flag.Float64("capacity", 500, "link capacity in Mbps")
+	diameter := flag.Float64("diameter", 25, "target propagation diameter in ms")
+	seed := flag.Int64("seed", 1, "random seed")
+	summary := flag.Bool("summary", false, "print a summary instead of JSON")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+	flag.Parse()
+
+	var kind topogen.Kind
+	switch *kindF {
+	case "rand":
+		kind = topogen.RandKind
+	case "near":
+		kind = topogen.NearKind
+	case "pl":
+		kind = topogen.PLKind
+	case "isp":
+		kind = topogen.ISPKind
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown kind %q\n", *kindF)
+		os.Exit(2)
+	}
+	g, err := topogen.Generate(topogen.Spec{
+		Kind:          kind,
+		Nodes:         *nodes,
+		DirectedLinks: *links,
+		EdgesPerNode:  *edgesPerNode,
+		CapacityMbps:  *capacity,
+		DiameterMs:    *diameter,
+	}, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+
+	if *dot {
+		if err := g.WriteDOT(os.Stdout, *kindF, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *summary {
+		fmt.Printf("%s: %d nodes, %d directed links, mean degree %.2f\n",
+			kind, g.NumNodes(), g.NumLinks(), g.MeanOutDegree())
+		var minD, maxD float64
+		for i, l := range g.Links() {
+			if i == 0 || l.Delay < minD {
+				minD = l.Delay
+			}
+			if l.Delay > maxD {
+				maxD = l.Delay
+			}
+		}
+		fmt.Printf("link delays: %.2f-%.2f ms, capacity %.0f Mbps\n", minD, maxD, *capacity)
+		for v := 0; v < g.NumNodes() && kind == topogen.ISPKind; v++ {
+			fmt.Printf("  %2d %s (degree %d)\n", v, g.NodeName(v), g.OutDegree(v))
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(g); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+// Package repro is a reproduction of "Balancing Performance, Robustness
+// and Flexibility in Routing Systems" (Kwong, Guérin, Shaikh, Tao — ACM
+// CoNEXT 2008 / IEEE TNSM 2010): Dual Topology Routing (DTR) weight
+// optimization that serves delay-sensitive and throughput-sensitive
+// traffic on independent shortest-path topologies, and makes both robust
+// to single link failures via the paper's critical-link methodology.
+//
+// The root package is the public facade: build a Network (topology +
+// two-class traffic + SLA model), call Optimize to obtain a regular and a
+// robust routing, and evaluate either under normal conditions or any
+// failure scenario.
+//
+//	net, _ := repro.NewNetwork(repro.NetworkSpec{
+//	    Topology: "rand", Nodes: 30, Links: 180,
+//	    AvgUtil: 0.43, SLABoundMs: 25, Seed: 1,
+//	})
+//	res, _ := net.Optimize(repro.OptimizeOptions{Budget: "std"})
+//	report := net.EvaluateAllLinkFailures(res.Robust)
+//	fmt.Println(report.AvgViolations)
+//
+// The implementation lives in internal packages, one per subsystem (see
+// DESIGN.md for the inventory); the experiment harness that regenerates
+// every table and figure of the paper is exposed through
+// cmd/experiments and the benchmarks in bench_test.go.
+package repro

@@ -1,0 +1,60 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The smallest complete use of the library: build a network, optimize,
+// inspect robustness.
+func Example() {
+	net, err := repro.NewNetwork(repro.NetworkSpec{
+		Topology: "rand", Nodes: 10, Links: 50,
+		AvgUtil: 0.4, SLABoundMs: 25, Seed: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := net.Optimize(repro.OptimizeOptions{Budget: "quick", Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	reg := res.Regular.EvaluateAllLinkFailures()
+	rob := res.Robust.EvaluateAllLinkFailures()
+	fmt.Println("robust is at least as good:", rob.TotalDelayCost <= reg.TotalDelayCost)
+	fmt.Println("critical links selected:", len(res.CriticalLinks) > 0)
+	// Output:
+	// robust is at least as good: true
+	// critical links selected: true
+}
+
+// Evaluating a specific failure scenario.
+func ExampleRouting_EvaluateLinkFailure() {
+	net, err := repro.NewNetwork(repro.NetworkSpec{Topology: "isp", MaxUtil: 0.5, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	r := net.UniformRouting()
+	normal := r.Evaluate()
+	failed := r.EvaluateLinkFailure(0)
+	fmt.Println("failure cannot reduce violations:", failed.SLAViolations >= normal.SLAViolations)
+	// Output:
+	// failure cannot reduce violations: true
+}
+
+// Testing a solution against traffic-matrix uncertainty.
+func ExampleNetwork_WithFluctuatedTraffic() {
+	net, err := repro.NewNetwork(repro.NetworkSpec{Topology: "rand", Nodes: 10, Links: 50, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	r := net.UniformRouting()
+	perturbed, err := r.On(net.WithFluctuatedTraffic(0.2, 7))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("evaluable under perturbed traffic:", perturbed.Evaluate().AvgUtilization > 0)
+	// Output:
+	// evaluable under perturbed traffic: true
+}

@@ -1,0 +1,66 @@
+// Traffic-uncertainty stress test: a routing is computed from an
+// estimated traffic matrix, but reality drifts — measurement noise and
+// flash-crowd surges. This example reproduces the spirit of the paper's
+// Section V-F: a robust routing keeps its failure resilience even when
+// the actual traffic deviates substantially from the matrix it was
+// optimized for.
+//
+// Run with: go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	net, err := repro.NewNetwork(repro.NetworkSpec{
+		Topology:   "rand",
+		Nodes:      20,
+		Links:      100,
+		MaxUtil:    0.74,
+		SLABoundMs: 25,
+		Seed:       11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := net.Optimize(repro.OptimizeOptions{Budget: "quick", Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("failure-time SLA violations (average per single link failure):")
+	fmt.Println()
+	fmt.Println("  traffic scenario                regular  robust")
+	show := func(name string, variant *repro.Network) {
+		reg, err := res.Regular.On(variant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rob, err := res.Robust.On(variant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-30s  %7.2f  %6.2f\n", name,
+			reg.EvaluateAllLinkFailures().AvgViolations,
+			rob.EvaluateAllLinkFailures().AvgViolations)
+	}
+
+	show("estimated matrix (baseline)", net)
+	// Gaussian estimation error: ±40% per pair with 95% likelihood.
+	for i := int64(1); i <= 3; i++ {
+		show(fmt.Sprintf("fluctuation instance %d", i), net.WithFluctuatedTraffic(0.2, 100+i))
+	}
+	// Download flash crowds: a few servers suddenly serve half the nodes
+	// at 2-6x the planned volume.
+	for i := int64(1); i <= 3; i++ {
+		show(fmt.Sprintf("download hot-spot %d", i), net.WithHotspotTraffic(true, 200+i))
+	}
+
+	fmt.Println()
+	fmt.Println("The robust routing's advantage persists across traffic deviations —")
+	fmt.Println("robustness to failures also buys robustness to matrix error.")
+}

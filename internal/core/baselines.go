@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// The three critical-link selectors from prior single-routing work,
+// reimplemented as ablation baselines (Section IV-C explains why each
+// breaks down in the DTR setting).
+
+// RandomSelect picks n distinct links uniformly at random — the strategy
+// of Yuan [24]. The result is sorted ascending.
+func RandomSelect(m, n int, rng *rand.Rand) []int {
+	if n >= m {
+		all := make([]int, m)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	perm := rng.Perm(m)[:n]
+	sort.Ints(perm)
+	return perm
+}
+
+// LoadBasedSelect picks the n links with the highest utilization under
+// the optimized normal-conditions routing — the network-utilization
+// impact criterion of Fortz & Thorup [10]. util must hold per-link
+// utilizations. The result is sorted ascending.
+func LoadBasedSelect(util []float64, n int) []int {
+	order := rankDesc(util)
+	if n > len(order) {
+		n = len(order)
+	}
+	out := append([]int(nil), order[:n]...)
+	sort.Ints(out)
+	return out
+}
+
+// ThresholdSelect adapts the threshold-crossing criterion of Sridharan &
+// Guérin [23] to DTR: for each link, it counts how often that link's
+// failure-like cost samples land in the "bad" region, defined per class
+// as the pooled badQuantile of all samples. Links are ranked by the sum
+// of the two per-class bad-crossing frequencies. This is the scheme whose
+// threshold choice the paper found impossible to tune universally in a
+// dual-routing setting; it is kept for head-to-head comparison.
+func ThresholdSelect(s *Sampler, n int, badQuantile float64) []int {
+	m := s.NumLinks()
+	if n >= m {
+		return RandomSelect(m, n, rand.New(rand.NewSource(0)))
+	}
+	// Pooled per-class thresholds.
+	var allL, allP []float64
+	for l := 0; l < m; l++ {
+		for _, o := range s.samples[l] {
+			allL = append(allL, o.Lambda)
+			allP = append(allP, o.Phi)
+		}
+	}
+	thL := quantile(allL, badQuantile)
+	thP := quantile(allP, badQuantile)
+
+	score := make([]float64, m)
+	for l := 0; l < m; l++ {
+		obs := s.samples[l]
+		if len(obs) == 0 {
+			continue
+		}
+		badL, badP := 0, 0
+		for _, o := range obs {
+			if o.Lambda > thL {
+				badL++
+			}
+			if o.Phi > thP {
+				badP++
+			}
+		}
+		score[l] = float64(badL+badP) / float64(len(obs))
+	}
+	order := rankDesc(score)
+	out := append([]int(nil), order[:n]...)
+	sort.Ints(out)
+	return out
+}
+
+// quantile returns the q-quantile of vals (sorted copy, nearest-rank).
+// Returns +Inf-safe 0 for empty input.
+func quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

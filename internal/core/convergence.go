@@ -1,0 +1,91 @@
+package core
+
+import "math"
+
+// ConvergenceTracker decides when criticality estimates have stabilized
+// (Section IV-D1): after every τ additional samples per link on average,
+// it recomputes the two criticality rankings and measures the weighted
+// rank churn S_Λ and S_Φ; estimates are converged once both fall to the
+// threshold e or below.
+type ConvergenceTracker struct {
+	// Tau is the average per-link sample count between checks (paper: 30).
+	Tau int
+	// Threshold is the convergence bound e (paper: 2).
+	Threshold float64
+
+	numLinks       int
+	lastCheckAt    int // Sampler.Total() at the previous check
+	prevRankL      []int
+	prevRankP      []int
+	havePrev       bool
+	lastSL, lastSP float64
+}
+
+// NewConvergenceTracker returns a tracker with the paper's τ=30, e=2
+// defaults for m links.
+func NewConvergenceTracker(m int) *ConvergenceTracker {
+	return &ConvergenceTracker{Tau: 30, Threshold: 2, numLinks: m}
+}
+
+// Due reports whether enough new samples have arrived since the last
+// check (τ per link on average).
+func (t *ConvergenceTracker) Due(totalSamples int) bool {
+	return totalSamples-t.lastCheckAt >= t.Tau*t.numLinks
+}
+
+// Check updates the rankings from the current criticality estimates and
+// returns the churn indices and whether both are within the threshold.
+// The first check only establishes the baseline ranking and never
+// converges.
+func (t *ConvergenceTracker) Check(c Criticality, totalSamples int) (sLambda, sPhi float64, converged bool) {
+	t.lastCheckAt = totalSamples
+	lambda, phi := c.Normalized()
+	rankL := invertRank(rankDesc(lambda))
+	rankP := invertRank(rankDesc(phi))
+	if !t.havePrev {
+		t.prevRankL, t.prevRankP = rankL, rankP
+		t.havePrev = true
+		t.lastSL, t.lastSP = math.Inf(1), math.Inf(1)
+		return math.Inf(1), math.Inf(1), false
+	}
+	sLambda = rankChurn(t.prevRankL, rankL)
+	sPhi = rankChurn(t.prevRankP, rankP)
+	t.prevRankL, t.prevRankP = rankL, rankP
+	t.lastSL, t.lastSP = sLambda, sPhi
+	return sLambda, sPhi, sLambda <= t.Threshold && sPhi <= t.Threshold
+}
+
+// LastIndices returns the most recent churn indices (infinite before the
+// second check).
+func (t *ConvergenceTracker) LastIndices() (sLambda, sPhi float64) {
+	if !t.havePrev {
+		return math.Inf(1), math.Inf(1)
+	}
+	return t.lastSL, t.lastSP
+}
+
+// invertRank converts an ordering (rank -> link) into rank positions
+// (link -> rank).
+func invertRank(order []int) []int {
+	rank := make([]int, len(order))
+	for r, l := range order {
+		rank[l] = r
+	}
+	return rank
+}
+
+// rankChurn computes S = Σ_l γ_l·|Δrank_l| with γ_l ∝ |Δrank_l| (so links
+// that moved more weigh more), which reduces to Σ Δ² / Σ Δ; zero when no
+// rank changed.
+func rankChurn(prev, cur []int) float64 {
+	var sum, sumSq float64
+	for l := range prev {
+		d := math.Abs(float64(cur[l] - prev[l]))
+		sum += d
+		sumSq += d * d
+	}
+	if sum == 0 {
+		return 0
+	}
+	return sumSq / sum
+}

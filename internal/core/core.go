@@ -1,0 +1,205 @@
+// Package core implements the paper's primary contribution: the
+// distributional definition of link criticality and the machinery to
+// estimate it and select critical links.
+//
+// For each link l, failure-like weight perturbations observed during the
+// normal-conditions search produce samples of the network cost that
+// "acceptable" routings incur when l fails. The criticality of l for each
+// traffic class is the gap between the mean of that distribution (what a
+// robust search that ignores l would get, in expectation) and its
+// left-tail mean (what a search that optimizes for l's failure could
+// get) — Eqs. (8) and (9). Per-class criticalities are normalized by the
+// lower-bound total failure cost (the sum of left-tail means) and merged
+// into one critical link set by the greedy two-list elimination of
+// Algorithm 1.
+//
+// The package also provides the rank-change convergence indices S_Λ and
+// S_Φ that decide whether enough samples have been collected (Section
+// IV-D1), and the three critical-link selectors from prior work that the
+// paper reports as inadequate for DTR (random, load-based,
+// threshold-crossing), used here as ablation baselines.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cost"
+)
+
+// maxSamplesPerLink bounds the memory of the sampler. Beyond the bound,
+// reservoir sampling keeps a uniform subsample, which preserves the mean
+// and tail estimates the criticality definition needs.
+const maxSamplesPerLink = 512
+
+// Sampler accumulates per-link failure-cost samples.
+type Sampler struct {
+	leftTailFrac float64
+	samples      [][]cost.Cost
+	seen         []int // total observations per link, including evicted
+	total        int
+	rng          *rand.Rand
+}
+
+// NewSampler returns a sampler for m links using the given left-tail
+// fraction (the paper uses 0.10: the smallest 10% of costs). rng drives
+// reservoir eviction; pass a deterministic source for reproducible runs.
+func NewSampler(m int, leftTailFrac float64, rng *rand.Rand) *Sampler {
+	if leftTailFrac <= 0 || leftTailFrac > 1 {
+		panic(fmt.Sprintf("core: left-tail fraction %g out of (0,1]", leftTailFrac))
+	}
+	return &Sampler{
+		leftTailFrac: leftTailFrac,
+		samples:      make([][]cost.Cost, m),
+		seen:         make([]int, m),
+		rng:          rng,
+	}
+}
+
+// NumLinks returns the number of links covered.
+func (s *Sampler) NumLinks() int { return len(s.samples) }
+
+// Add records one failure-cost observation for link l.
+func (s *Sampler) Add(l int, c cost.Cost) {
+	s.total++
+	s.seen[l]++
+	if len(s.samples[l]) < maxSamplesPerLink {
+		s.samples[l] = append(s.samples[l], c)
+		return
+	}
+	// Reservoir: keep each observation with probability cap/seen.
+	if j := s.rng.Intn(s.seen[l]); j < maxSamplesPerLink {
+		s.samples[l][j] = c
+	}
+}
+
+// Count returns the number of observations recorded for link l.
+func (s *Sampler) Count(l int) int { return s.seen[l] }
+
+// Total returns the number of observations across all links.
+func (s *Sampler) Total() int { return s.total }
+
+// MinCount returns the smallest per-link observation count.
+func (s *Sampler) MinCount() int {
+	m := math.MaxInt
+	for _, c := range s.seen {
+		if c < m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Criticality holds per-link criticality estimates for both classes.
+type Criticality struct {
+	// RhoLambda and RhoPhi are the raw criticalities of Eqs. (8)-(9):
+	// mean minus left-tail mean of the per-link failure-cost
+	// distribution.
+	RhoLambda, RhoPhi []float64
+	// TailLambda and TailPhi are the left-tail means themselves, the
+	// per-link lower-bound cost estimates used for normalization.
+	TailLambda, TailPhi []float64
+	// Sampled reports whether any observation exists for the link; links
+	// never observed have zero criticality and must be interpreted with
+	// care (Phase 1b exists to avoid them).
+	Sampled []bool
+}
+
+// Estimate computes the criticality of every link from the samples
+// collected so far.
+func (s *Sampler) Estimate() Criticality {
+	return s.EstimateTail(s.leftTailFrac)
+}
+
+// EstimateTail is Estimate with an explicit left-tail fraction, used by
+// the tail-sensitivity ablation.
+func (s *Sampler) EstimateTail(leftTailFrac float64) Criticality {
+	m := len(s.samples)
+	c := Criticality{
+		RhoLambda:  make([]float64, m),
+		RhoPhi:     make([]float64, m),
+		TailLambda: make([]float64, m),
+		TailPhi:    make([]float64, m),
+		Sampled:    make([]bool, m),
+	}
+	var scratch []float64
+	for l := 0; l < m; l++ {
+		obs := s.samples[l]
+		if len(obs) == 0 {
+			continue
+		}
+		c.Sampled[l] = true
+		scratch = scratch[:0]
+		for _, o := range obs {
+			scratch = append(scratch, o.Lambda)
+		}
+		mean, tail := meanAndLeftTail(scratch, leftTailFrac)
+		c.RhoLambda[l] = mean - tail
+		c.TailLambda[l] = tail
+
+		scratch = scratch[:0]
+		for _, o := range obs {
+			scratch = append(scratch, o.Phi)
+		}
+		mean, tail = meanAndLeftTail(scratch, leftTailFrac)
+		c.RhoPhi[l] = mean - tail
+		c.TailPhi[l] = tail
+	}
+	return c
+}
+
+// meanAndLeftTail returns the mean of vals and the mean of its smallest
+// frac share (at least one element). vals is sorted in place.
+func meanAndLeftTail(vals []float64, frac float64) (mean, tail float64) {
+	sort.Float64s(vals)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean = sum / float64(len(vals))
+	k := int(math.Ceil(frac * float64(len(vals))))
+	if k < 1 {
+		k = 1
+	}
+	var tsum float64
+	for _, v := range vals[:k] {
+		tsum += v
+	}
+	tail = tsum / float64(k)
+	return mean, tail
+}
+
+// Normalized returns the normalized criticalities ρ̄ of Phase 1c: each
+// class's raw values divided by that class's total left-tail cost (the
+// lower-bound estimate of the cost any routing incurs across all single
+// link failures). If a class's lower bound is zero — e.g. the best
+// routings avoid all SLA violations under every failure — the raw values
+// are normalized by their own sum instead, preserving the relative
+// ordering without dividing by zero.
+func (c Criticality) Normalized() (lambda, phi []float64) {
+	lambda = normalize(c.RhoLambda, c.TailLambda)
+	phi = normalize(c.RhoPhi, c.TailPhi)
+	return lambda, phi
+}
+
+func normalize(rho, tail []float64) []float64 {
+	var denom float64
+	for _, t := range tail {
+		denom += t
+	}
+	if denom == 0 {
+		for _, r := range rho {
+			denom += r
+		}
+	}
+	out := make([]float64, len(rho))
+	if denom == 0 {
+		return out // all-zero criticality: nothing to order
+	}
+	for i, r := range rho {
+		out[i] = r / denom
+	}
+	return out
+}

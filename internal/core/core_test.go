@@ -1,0 +1,422 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+)
+
+func newTestSampler(m int) *Sampler {
+	return NewSampler(m, 0.1, rand.New(rand.NewSource(1)))
+}
+
+func TestSamplerCounts(t *testing.T) {
+	s := newTestSampler(3)
+	s.Add(0, cost.Cost{Lambda: 1, Phi: 1})
+	s.Add(0, cost.Cost{Lambda: 2, Phi: 2})
+	s.Add(2, cost.Cost{Lambda: 3, Phi: 3})
+	if s.Count(0) != 2 || s.Count(1) != 0 || s.Count(2) != 1 {
+		t.Errorf("counts = %d,%d,%d", s.Count(0), s.Count(1), s.Count(2))
+	}
+	if s.Total() != 3 || s.MinCount() != 0 {
+		t.Errorf("total=%d min=%d", s.Total(), s.MinCount())
+	}
+}
+
+func TestSamplerRejectsBadTailFraction(t *testing.T) {
+	for _, frac := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("frac %g accepted", frac)
+				}
+			}()
+			NewSampler(2, frac, rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+func TestCriticalityMeanMinusTail(t *testing.T) {
+	s := newTestSampler(2)
+	// Link 0: 10 samples of Λ = 0,100,...,900. Mean 450; left-tail 10% =
+	// smallest 1 sample = 0. ρ_Λ = 450.
+	for i := 0; i < 10; i++ {
+		s.Add(0, cost.Cost{Lambda: float64(i) * 100, Phi: 5})
+	}
+	c := s.Estimate()
+	if math.Abs(c.RhoLambda[0]-450) > 1e-9 {
+		t.Errorf("rhoLambda = %g, want 450", c.RhoLambda[0])
+	}
+	if c.TailLambda[0] != 0 {
+		t.Errorf("tailLambda = %g, want 0", c.TailLambda[0])
+	}
+	// Constant Φ: zero criticality, tail = 5.
+	if c.RhoPhi[0] != 0 || c.TailPhi[0] != 5 {
+		t.Errorf("phi stats = %g/%g, want 0/5", c.RhoPhi[0], c.TailPhi[0])
+	}
+	if c.Sampled[1] {
+		t.Error("unsampled link marked sampled")
+	}
+}
+
+func TestCriticalityNarrowVsWideDistribution(t *testing.T) {
+	// Fig. 2(b): a wide cost distribution means high criticality, a
+	// narrow one low criticality.
+	s := newTestSampler(2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		s.Add(0, cost.Cost{Lambda: 500 + rng.Float64()*1000, Phi: 1}) // wide
+		s.Add(1, cost.Cost{Lambda: 990 + rng.Float64()*20, Phi: 1})   // narrow
+	}
+	c := s.Estimate()
+	if c.RhoLambda[0] <= c.RhoLambda[1]*5 {
+		t.Errorf("wide (%g) should dominate narrow (%g)", c.RhoLambda[0], c.RhoLambda[1])
+	}
+}
+
+func TestReservoirKeepsMeanStable(t *testing.T) {
+	s := newTestSampler(1)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10*maxSamplesPerLink; i++ {
+		s.Add(0, cost.Cost{Lambda: rng.Float64() * 100, Phi: 0})
+	}
+	if got := len(s.samples[0]); got != maxSamplesPerLink {
+		t.Fatalf("reservoir size = %d, want %d", got, maxSamplesPerLink)
+	}
+	c := s.Estimate()
+	// Mean of U[0,100] is 50; tail mean ~2.5; rho ≈ 47.5 ± sampling noise.
+	if c.RhoLambda[0] < 35 || c.RhoLambda[0] > 60 {
+		t.Errorf("rho after reservoir = %g, want ≈47.5", c.RhoLambda[0])
+	}
+}
+
+func TestNormalizedFallsBackWhenTailZero(t *testing.T) {
+	s := newTestSampler(2)
+	// All left-tails zero (best case costs are 0) but means differ.
+	for i := 0; i < 20; i++ {
+		s.Add(0, cost.Cost{Lambda: float64(i%2) * 100, Phi: 0}) // half zero
+		s.Add(1, cost.Cost{Lambda: float64(i%2) * 400, Phi: 0})
+	}
+	c := s.Estimate()
+	lambda, _ := c.Normalized()
+	if lambda[1] <= lambda[0] {
+		t.Errorf("normalization lost ordering: %v", lambda)
+	}
+	sum := lambda[0] + lambda[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fallback normalization should sum to 1, got %g", sum)
+	}
+}
+
+func TestSelectPicksHighCriticalityLinks(t *testing.T) {
+	c := Criticality{
+		RhoLambda:  []float64{0, 10, 0, 0, 5, 0},
+		RhoPhi:     []float64{0, 0, 8, 0, 0, 1},
+		TailLambda: []float64{1, 1, 1, 1, 1, 1},
+		TailPhi:    []float64{1, 1, 1, 1, 1, 1},
+		Sampled:    []bool{true, true, true, true, true, true},
+	}
+	got := Select(c, 3)
+	want := map[int]bool{1: true, 2: true, 4: true}
+	if len(got) > 3 {
+		t.Fatalf("selected %d links, want <= 3", len(got))
+	}
+	for _, l := range got {
+		if !want[l] {
+			t.Errorf("selected uncritical link %d (got %v)", l, got)
+		}
+	}
+	if len(got) < 3 {
+		t.Errorf("selected only %v", got)
+	}
+}
+
+func TestSelectBalancesClasses(t *testing.T) {
+	// One link matters only for Λ, another only for Φ; both must survive
+	// a size-2 selection regardless of scale differences, thanks to
+	// per-class normalization.
+	c := Criticality{
+		RhoLambda:  []float64{900, 0, 0, 0},
+		RhoPhi:     []float64{0, 0.9, 0, 0},
+		TailLambda: []float64{100, 0, 0, 0},
+		TailPhi:    []float64{0, 0.1, 0, 0},
+		Sampled:    []bool{true, true, true, true},
+	}
+	got := Select(c, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Select = %v, want [0 1]", got)
+	}
+}
+
+func TestSelectWholeNetwork(t *testing.T) {
+	c := Criticality{
+		RhoLambda:  make([]float64, 5),
+		RhoPhi:     make([]float64, 5),
+		TailLambda: make([]float64, 5),
+		TailPhi:    make([]float64, 5),
+		Sampled:    make([]bool, 5),
+	}
+	got := Select(c, 10)
+	if len(got) != 5 {
+		t.Errorf("n >= m should select all links, got %v", got)
+	}
+}
+
+func TestSelectPanicsOnZeroTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c := Criticality{RhoLambda: make([]float64, 3), RhoPhi: make([]float64, 3), TailLambda: make([]float64, 3), TailPhi: make([]float64, 3)}
+	Select(c, 0)
+}
+
+func randomCriticality(r *rand.Rand, m int) Criticality {
+	c := Criticality{
+		RhoLambda:  make([]float64, m),
+		RhoPhi:     make([]float64, m),
+		TailLambda: make([]float64, m),
+		TailPhi:    make([]float64, m),
+		Sampled:    make([]bool, m),
+	}
+	for i := 0; i < m; i++ {
+		c.RhoLambda[i] = r.Float64() * 100
+		c.RhoPhi[i] = r.Float64()
+		c.TailLambda[i] = r.Float64() * 10
+		c.TailPhi[i] = r.Float64() * 0.1
+		c.Sampled[i] = true
+	}
+	return c
+}
+
+func TestQuickSelectSizeAndNesting(t *testing.T) {
+	// Algorithm 1 walks a deterministic elimination path, so critical
+	// sets must be nested: Select(n) ⊆ Select(n+1); and |Select(n)| <= n.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 5 + r.Intn(40)
+		c := randomCriticality(r, m)
+		prev := map[int]bool{}
+		for n := 1; n <= m; n++ {
+			sel := Select(c, n)
+			if len(sel) > n {
+				return false
+			}
+			cur := map[int]bool{}
+			for _, l := range sel {
+				cur[l] = true
+			}
+			for l := range prev {
+				if !cur[l] {
+					return false // nesting violated
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedError(t *testing.T) {
+	c := Criticality{
+		RhoLambda:  []float64{4, 6, 0},
+		RhoPhi:     []float64{1, 0, 3},
+		TailLambda: []float64{5, 5, 0},
+		TailPhi:    []float64{2, 0, 2},
+		Sampled:    []bool{true, true, true},
+	}
+	le, pe := ExpectedError(c, []int{1})
+	// Λ norm = 10, Φ norm = 4. Omitted links 0 and 2.
+	if math.Abs(le-(4.0/10+0)) > 1e-9 {
+		t.Errorf("lambdaErr = %g", le)
+	}
+	if math.Abs(pe-(1.0/4+3.0/4)) > 1e-9 {
+		t.Errorf("phiErr = %g", pe)
+	}
+	le, pe = ExpectedError(c, []int{0, 1, 2})
+	if le != 0 || pe != 0 {
+		t.Errorf("full set should have zero error: %g %g", le, pe)
+	}
+}
+
+func TestConvergenceTracker(t *testing.T) {
+	ct := NewConvergenceTracker(4)
+	ct.Tau = 2
+	if !ct.Due(8) || ct.Due(7) {
+		t.Error("Due thresholds wrong")
+	}
+	c1 := Criticality{
+		RhoLambda:  []float64{4, 3, 2, 1},
+		RhoPhi:     []float64{1, 2, 3, 4},
+		TailLambda: []float64{1, 1, 1, 1},
+		TailPhi:    []float64{1, 1, 1, 1},
+	}
+	_, _, conv := ct.Check(c1, 8)
+	if conv {
+		t.Error("first check must not converge")
+	}
+	// Identical criticality: zero churn, converged.
+	sl, sp, conv := ct.Check(c1, 16)
+	if sl != 0 || sp != 0 || !conv {
+		t.Errorf("stable ranks: sl=%g sp=%g conv=%v", sl, sp, conv)
+	}
+	// Big churn: reverse the Λ ordering.
+	c2 := c1
+	c2.RhoLambda = []float64{1, 2, 3, 4}
+	sl, _, conv = ct.Check(c2, 24)
+	if sl <= 2 || conv {
+		t.Errorf("rank reversal should exceed threshold: sl=%g conv=%v", sl, conv)
+	}
+	gotSL, _ := ct.LastIndices()
+	if gotSL != sl {
+		t.Errorf("LastIndices = %g, want %g", gotSL, sl)
+	}
+}
+
+func TestRankChurnWeighting(t *testing.T) {
+	// One link moving 4 ranks churns more than four links moving 1 rank
+	// each, because γ weights big movers: 16/4=4 vs 4/4=1.
+	big := rankChurn([]int{0, 1, 2, 3, 4}, []int{4, 0, 1, 2, 3})
+	small := rankChurn([]int{0, 1, 2, 3}, []int{1, 0, 3, 2})
+	if big <= small {
+		t.Errorf("churn weighting broken: big=%g small=%g", big, small)
+	}
+}
+
+func TestRandomSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sel := RandomSelect(100, 10, rng)
+	if len(sel) != 10 {
+		t.Fatalf("len = %d", len(sel))
+	}
+	seen := map[int]bool{}
+	for i, l := range sel {
+		if l < 0 || l >= 100 || seen[l] {
+			t.Fatalf("bad selection %v", sel)
+		}
+		seen[l] = true
+		if i > 0 && sel[i] < sel[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+	all := RandomSelect(5, 9, rng)
+	if len(all) != 5 {
+		t.Errorf("n > m should return all, got %v", all)
+	}
+}
+
+func TestLoadBasedSelect(t *testing.T) {
+	util := []float64{0.1, 0.9, 0.5, 0.95, 0.2}
+	sel := LoadBasedSelect(util, 2)
+	if len(sel) != 2 || sel[0] != 1 || sel[1] != 3 {
+		t.Errorf("LoadBasedSelect = %v, want [1 3]", sel)
+	}
+}
+
+func TestThresholdSelect(t *testing.T) {
+	s := newTestSampler(3)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		// Link 0 frequently lands in the bad region; links 1,2 almost never.
+		s.Add(0, cost.Cost{Lambda: 500 + rng.Float64()*500, Phi: 10})
+		s.Add(1, cost.Cost{Lambda: rng.Float64() * 10, Phi: 1})
+		s.Add(2, cost.Cost{Lambda: rng.Float64() * 10, Phi: 1})
+	}
+	sel := ThresholdSelect(s, 1, 0.75)
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Errorf("ThresholdSelect = %v, want [0]", sel)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if q := quantile(vals, 0); q != 1 {
+		t.Errorf("q0 = %g", q)
+	}
+	if q := quantile(vals, 1); q != 5 {
+		t.Errorf("q1 = %g", q)
+	}
+	if q := quantile(vals, 0.5); q != 3 {
+		t.Errorf("q0.5 = %g", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %g", q)
+	}
+	// Input untouched.
+	if vals[0] != 5 {
+		t.Error("quantile mutated input")
+	}
+}
+
+func TestScaleByProbs(t *testing.T) {
+	c := Criticality{
+		RhoLambda:  []float64{10, 20, 30},
+		RhoPhi:     []float64{1, 2, 3},
+		TailLambda: []float64{5, 5, 5},
+		TailPhi:    []float64{1, 1, 1},
+		Sampled:    []bool{true, true, false},
+	}
+	s := ScaleByProbs(c, []float64{1, 0.5, 0})
+	if s.RhoLambda[0] != 10 || s.RhoLambda[1] != 10 || s.RhoLambda[2] != 0 {
+		t.Errorf("RhoLambda = %v", s.RhoLambda)
+	}
+	if s.TailPhi[1] != 0.5 || s.TailPhi[2] != 0 {
+		t.Errorf("TailPhi = %v", s.TailPhi)
+	}
+	// Original untouched, Sampled copied.
+	if c.RhoLambda[1] != 20 {
+		t.Error("ScaleByProbs mutated input")
+	}
+	if !s.Sampled[0] || s.Sampled[2] {
+		t.Errorf("Sampled not preserved: %v", s.Sampled)
+	}
+}
+
+func TestScaleByProbsRejectsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ScaleByProbs(Criticality{RhoLambda: make([]float64, 3)}, []float64{1})
+}
+
+func TestQuickSelectRespectsExpectedErrorOrdering(t *testing.T) {
+	// The links omitted by Select must never include a link whose
+	// combined normalized criticality strictly dominates (is larger in
+	// both classes than) a selected link's. Otherwise swapping them
+	// would reduce both expected errors — contradicting the greedy.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 6 + r.Intn(30)
+		c := randomCriticality(r, m)
+		n := 1 + r.Intn(m-1)
+		sel := Select(c, n)
+		lambda, phi := c.Normalized()
+		in := make([]bool, m)
+		for _, l := range sel {
+			in[l] = true
+		}
+		for out := 0; out < m; out++ {
+			if in[out] {
+				continue
+			}
+			for _, kept := range sel {
+				if lambda[out] > lambda[kept]+1e-12 && phi[out] > phi[kept]+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

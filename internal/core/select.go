@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// rankDesc returns link indices sorted by descending value, ties broken
+// by ascending link index so that rankings are stable across updates.
+func rankDesc(vals []float64) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if vals[idx[a]] != vals[idx[b]] {
+			return vals[idx[a]] > vals[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// Select implements Phase 1c and Algorithm 1: normalize the two per-class
+// criticality vectors, rank each, and greedily shrink whichever ranked
+// list costs less expected normalized error to truncate, until the union
+// of the two top-lists has at most n links. It returns the critical link
+// set in ascending index order.
+func Select(c Criticality, n int) []int {
+	m := len(c.RhoLambda)
+	if n >= m {
+		all := make([]int, m)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("core: critical set size %d must be >= 1", n))
+	}
+	lambda, phi := c.Normalized()
+	eL := rankDesc(lambda) // E_Λ: links by descending ρ̄_Λ
+	eP := rankDesc(phi)    // E_Φ
+
+	// Suffix error sums: suffL[k] = Σ over ranks >= k of ρ̄_Λ, i.e. the
+	// expected normalized error of keeping only the top-k of E_Λ.
+	suffL := suffixSums(lambda, eL)
+	suffP := suffixSums(phi, eP)
+
+	// Position of every link in each ranking, for O(1) union-size updates.
+	posL := make([]int, m)
+	posP := make([]int, m)
+	for r, l := range eL {
+		posL[l] = r
+	}
+	for r, l := range eP {
+		posP[l] = r
+	}
+
+	n1, n2 := m, m
+	union := m // |top-n1(E_Λ) ∪ top-n2(E_Φ)|; every link is in both at the start
+	for union > n {
+		// Shrink the list whose next truncation loses less: if cutting
+		// E_Λ to n1−1 would leave at least as much error as cutting E_Φ
+		// to n2−1, cut E_Φ instead (Algorithm 1 lines 3-4).
+		cutPhi := false
+		switch {
+		case n1 == 0:
+			cutPhi = true
+		case n2 == 0:
+			cutPhi = false
+		default:
+			cutPhi = suffL[n1-1] >= suffP[n2-1]
+		}
+		if cutPhi {
+			n2--
+			dropped := eP[n2]
+			if posL[dropped] >= n1 {
+				union--
+			}
+		} else {
+			n1--
+			dropped := eL[n1]
+			if posP[dropped] >= n2 {
+				union--
+			}
+		}
+		if n1 == 0 && n2 == 0 {
+			break
+		}
+	}
+
+	out := make([]int, 0, n)
+	for l := 0; l < m; l++ {
+		if posL[l] < n1 || posP[l] < n2 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func suffixSums(vals []float64, order []int) []float64 {
+	suff := make([]float64, len(order)+1)
+	for k := len(order) - 1; k >= 0; k-- {
+		suff[k] = suff[k+1] + vals[order[k]]
+	}
+	return suff
+}
+
+// ScaleByProbs returns a copy of c with every link's criticality (and
+// lower-bound tail) scaled by that link's failure probability — the
+// expected-regret extension of the criticality definition for the
+// probabilistic failure model sketched in the paper's conclusion. Links
+// that cannot fail (probability zero) end up with zero criticality and
+// are never selected.
+func ScaleByProbs(c Criticality, probs []float64) Criticality {
+	if len(probs) != len(c.RhoLambda) {
+		panic(fmt.Sprintf("core: %d probabilities for %d links", len(probs), len(c.RhoLambda)))
+	}
+	out := Criticality{
+		RhoLambda:  make([]float64, len(probs)),
+		RhoPhi:     make([]float64, len(probs)),
+		TailLambda: make([]float64, len(probs)),
+		TailPhi:    make([]float64, len(probs)),
+		Sampled:    append([]bool(nil), c.Sampled...),
+	}
+	for l, p := range probs {
+		out.RhoLambda[l] = p * c.RhoLambda[l]
+		out.RhoPhi[l] = p * c.RhoPhi[l]
+		out.TailLambda[l] = p * c.TailLambda[l]
+		out.TailPhi[l] = p * c.TailPhi[l]
+	}
+	return out
+}
+
+// ExpectedError returns the pair of normalized optimization errors the
+// paper's ρ̄_Λ(E_Λ,m)/ρ̄_Φ(E_Φ,m) estimators assign to a critical set:
+// the total normalized criticality of the links left out.
+func ExpectedError(c Criticality, critical []int) (lambdaErr, phiErr float64) {
+	lambda, phi := c.Normalized()
+	in := make([]bool, len(lambda))
+	for _, l := range critical {
+		in[l] = true
+	}
+	for l := range lambda {
+		if !in[l] {
+			lambdaErr += lambda[l]
+			phiErr += phi[l]
+		}
+	}
+	return lambdaErr, phiErr
+}

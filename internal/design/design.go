@@ -1,0 +1,214 @@
+// Package design implements the topology-design extension the paper's
+// conclusion proposes ("explore how to jointly design routing and
+// network topology to maximize robustness"): given a network and an SLA
+// bound, it identifies the SLA violations that NO routing can avoid
+// after a failure — pairs whose minimum achievable propagation delay
+// already exceeds the bound once a link is down — and ranks candidate
+// new edges by how many of those unavoidable violations they remove.
+//
+// The floor metric is routing-independent, so the advisor runs on pure
+// shortest-path computations and needs no optimization in the loop; the
+// edges it suggests expand exactly the path diversity that Section V-B
+// identifies as the precondition for robust optimization to help.
+package design
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/spf"
+)
+
+// propWeights quantizes link propagation delays to integer microseconds
+// for the SPF engine.
+func propWeights(g *graph.Graph) []int32 {
+	w := make([]int32, g.NumLinks())
+	for i, l := range g.Links() {
+		w[i] = int32(l.Delay*1000) + 1
+	}
+	return w
+}
+
+// microsSlack converts the +1 quantization bias bound into ms: paths
+// have at most NumNodes hops, each overcounted by at most 1 µs.
+func microsSlack(g *graph.Graph) float64 {
+	return float64(g.NumNodes()) / 1000
+}
+
+// Floor counts, over all single directed link failures, the SD pairs
+// whose minimum achievable propagation delay exceeds thetaMs (or that
+// are disconnected): SLA violations no weight setting can prevent. It
+// returns the total across scenarios and the per-scenario counts.
+func Floor(g *graph.Graph, thetaMs float64) (total int, perFailure []int) {
+	w := propWeights(g)
+	slack := microsSlack(g)
+	n := g.NumNodes()
+	ws := spf.NewWorkspace(g)
+	mask := graph.NewMask(g)
+	perFailure = make([]int, g.NumLinks())
+	for li := 0; li < g.NumLinks(); li++ {
+		mask.Reset()
+		mask.FailLink(li)
+		count := 0
+		for t := 0; t < n; t++ {
+			ws.Run(g, w, t, mask)
+			for s := 0; s < n; s++ {
+				if s == t {
+					continue
+				}
+				if !ws.Reached(s) || float64(ws.Dist(s))/1000-slack > thetaMs {
+					count++
+				}
+			}
+		}
+		perFailure[li] = count
+		total += count
+	}
+	return total, perFailure
+}
+
+// Candidate is a potential new bidirectional edge with its estimated
+// effect.
+type Candidate struct {
+	U, V int
+	// DelayMs is the estimated propagation delay of the new edge,
+	// derived from node positions and the graph's own distance-to-delay
+	// ratio.
+	DelayMs float64
+	// FloorAfter is the unavoidable violation total if this edge (alone)
+	// is added; Gain is the reduction from the current floor.
+	FloorAfter int
+	Gain       int
+}
+
+// RankAugmentations evaluates every absent node pair as a candidate new
+// edge and returns the topK by floor reduction (ties broken by shorter
+// delay). capacity is the capacity the new edge would get. The graph
+// must carry node coordinates (synthetic and ISP topologies do).
+func RankAugmentations(g *graph.Graph, thetaMs, capacity float64, topK int) ([]Candidate, error) {
+	if _, ok := g.NodeCoord(0); !ok {
+		return nil, fmt.Errorf("design: graph carries no node coordinates")
+	}
+	ratio, err := delayPerDistance(g)
+	if err != nil {
+		return nil, err
+	}
+	baseFloor, _ := Floor(g, thetaMs)
+
+	n := g.NumNodes()
+	present := make(map[[2]int]bool)
+	for _, l := range g.Links() {
+		a, b := l.From, l.To
+		if a > b {
+			a, b = b, a
+		}
+		present[[2]int{a, b}] = true
+	}
+	var candidates []Candidate
+	for u := 0; u < n; u++ {
+		cu, _ := g.NodeCoord(u)
+		for v := u + 1; v < n; v++ {
+			if present[[2]int{u, v}] {
+				continue
+			}
+			cv, _ := g.NodeCoord(v)
+			d := math.Hypot(cu.X-cv.X, cu.Y-cv.Y) * ratio
+			if d <= 0 {
+				d = 1e-3
+			}
+			candidates = append(candidates, Candidate{U: u, V: v, DelayMs: d})
+		}
+	}
+	for i := range candidates {
+		c := &candidates[i]
+		aug, err := withEdge(g, c.U, c.V, capacity, c.DelayMs)
+		if err != nil {
+			return nil, err
+		}
+		c.FloorAfter, _ = Floor(aug, thetaMs)
+		c.Gain = baseFloor - c.FloorAfter
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Gain != candidates[j].Gain {
+			return candidates[i].Gain > candidates[j].Gain
+		}
+		return candidates[i].DelayMs < candidates[j].DelayMs
+	})
+	if topK < len(candidates) {
+		candidates = candidates[:topK]
+	}
+	return candidates, nil
+}
+
+// GreedyAugment repeatedly adds the best candidate edge until k edges
+// are placed or the floor reaches zero, returning the augmented graph
+// and the chosen edges.
+func GreedyAugment(g *graph.Graph, thetaMs, capacity float64, k int) (*graph.Graph, []Candidate, error) {
+	var chosen []Candidate
+	cur := g
+	for i := 0; i < k; i++ {
+		floor, _ := Floor(cur, thetaMs)
+		if floor == 0 {
+			break
+		}
+		best, err := RankAugmentations(cur, thetaMs, capacity, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(best) == 0 || best[0].Gain <= 0 {
+			break
+		}
+		cur, err = withEdge(cur, best[0].U, best[0].V, capacity, best[0].DelayMs)
+		if err != nil {
+			return nil, nil, err
+		}
+		chosen = append(chosen, best[0])
+	}
+	return cur, chosen, nil
+}
+
+// delayPerDistance estimates the graph's ms-per-coordinate-unit ratio as
+// the median over links of delay divided by endpoint distance.
+func delayPerDistance(g *graph.Graph) (float64, error) {
+	var ratios []float64
+	for _, l := range g.Links() {
+		cu, _ := g.NodeCoord(l.From)
+		cv, _ := g.NodeCoord(l.To)
+		d := math.Hypot(cu.X-cv.X, cu.Y-cv.Y)
+		if d > 0 {
+			ratios = append(ratios, l.Delay/d)
+		}
+	}
+	if len(ratios) == 0 {
+		return 0, fmt.Errorf("design: cannot derive a distance-to-delay ratio")
+	}
+	sort.Float64s(ratios)
+	return ratios[len(ratios)/2], nil
+}
+
+// withEdge rebuilds the graph with one extra bidirectional edge.
+func withEdge(g *graph.Graph, u, v int, capacity, delayMs float64) (*graph.Graph, error) {
+	b := graph.NewBuilder(g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		if c, ok := g.NodeCoord(i); ok {
+			b.SetNodeCoord(i, c)
+		}
+		b.SetNodeName(i, g.NodeName(i))
+	}
+	done := make(map[int]bool)
+	for li, l := range g.Links() {
+		if done[li] {
+			continue
+		}
+		if l.Reverse >= 0 {
+			b.AddEdge(l.From, l.To, l.Capacity, l.Delay)
+			done[l.Reverse] = true
+		} else {
+			b.AddArc(l.From, l.To, l.Capacity, l.Delay)
+		}
+	}
+	b.AddEdge(u, v, capacity, delayMs)
+	return b.Build()
+}

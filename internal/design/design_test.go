@@ -1,0 +1,137 @@
+package design
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topogen"
+)
+
+// tightRing builds a 6-node ring where opposite nodes sit exactly at the
+// SLA boundary, so any single failure forces the long way around and
+// breaks the bound.
+func tightRing() *graph.Graph {
+	b := graph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		angle := float64(i) / 6
+		b.SetNodeCoord(i, graph.Coord{X: angle, Y: 0}) // positions only used for ratio
+	}
+	for i := 0; i < 6; i++ {
+		b.AddEdge(i, (i+1)%6, 500, 5) // opposite pairs: 15 ms min
+	}
+	return b.MustBuild()
+}
+
+func TestFloorZeroWhenSlack(t *testing.T) {
+	g := tightRing()
+	// θ=50: even the full detour (25 ms) fits.
+	total, per := Floor(g, 50)
+	if total != 0 {
+		t.Errorf("floor = %d, want 0 with generous bound", total)
+	}
+	if len(per) != g.NumLinks() {
+		t.Errorf("perFailure length %d", len(per))
+	}
+}
+
+func TestFloorCountsForcedDetours(t *testing.T) {
+	g := tightRing()
+	// θ=20: normally the worst pair needs 15 ms (3 hops) — fine. After a
+	// failure, some pairs must detour up to 25 ms — violations no
+	// routing can avoid.
+	total, per := Floor(g, 20)
+	if total == 0 {
+		t.Fatal("expected unavoidable violations on a tight ring")
+	}
+	for li, c := range per {
+		if c < 0 || c > 30 {
+			t.Errorf("scenario %d count %d out of range", li, c)
+		}
+	}
+}
+
+func TestRankAugmentationsFindsChord(t *testing.T) {
+	g := tightRing()
+	cands, err := RankAugmentations(g, 20, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := cands[0]
+	if best.Gain <= 0 {
+		t.Fatalf("best candidate gains nothing: %+v", best)
+	}
+	// The best chord should connect (near-)opposite nodes.
+	dist := (best.V - best.U + 6) % 6
+	if dist != 3 && dist != 2 && dist != 4 {
+		t.Errorf("best chord %d-%d is not a long chord", best.U, best.V)
+	}
+	// Ranking is by gain descending.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Gain > cands[i-1].Gain {
+			t.Error("candidates not sorted by gain")
+		}
+	}
+}
+
+func TestGreedyAugmentReducesFloor(t *testing.T) {
+	g := tightRing()
+	before, _ := Floor(g, 20)
+	aug, chosen, err := GreedyAugment(g, 20, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) == 0 {
+		t.Fatal("greedy chose nothing")
+	}
+	after, _ := Floor(aug, 20)
+	if after >= before {
+		t.Errorf("floor %d -> %d: no improvement", before, after)
+	}
+	if aug.NumLinks() != g.NumLinks()+2*len(chosen) {
+		t.Errorf("augmented graph has %d links, want %d", aug.NumLinks(), g.NumLinks()+2*len(chosen))
+	}
+}
+
+func TestGreedyAugmentStopsAtZeroFloor(t *testing.T) {
+	g := tightRing()
+	_, chosen, err := GreedyAugment(g, 50, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 0 {
+		t.Errorf("zero floor should add nothing, got %d edges", len(chosen))
+	}
+}
+
+func TestRankAugmentationsOnGeneratedTopology(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Spec{Kind: topogen.RandKind, Nodes: 12, DirectedLinks: 50, DiameterMs: 25}, rand.New(rand.NewSource(3)))
+	cands, err := RankAugmentations(g, 25, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 5 {
+		t.Fatalf("got %d candidates, want 5", len(cands))
+	}
+	for _, c := range cands {
+		if c.DelayMs <= 0 {
+			t.Errorf("candidate %d-%d has delay %g", c.U, c.V, c.DelayMs)
+		}
+		if c.FloorAfter < 0 {
+			t.Errorf("negative floor %d", c.FloorAfter)
+		}
+	}
+}
+
+func TestRankAugmentationsRequiresCoords(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 10, 1)
+	b.AddEdge(1, 2, 10, 1)
+	g := b.MustBuild()
+	if _, err := RankAugmentations(g, 10, 10, 1); err == nil {
+		t.Error("expected error without coordinates")
+	}
+}

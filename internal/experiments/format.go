@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table renders aligned text tables in the style of the paper's result
+// tables.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table {
+	return &table{header: header}
+}
+
+func (t *table) row(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) rowf(format string, args ...any) {
+	t.row(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) write(w io.Writer, title string) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// series writes figure data as aligned columns, one row per x value, so
+// the paper's curves can be read (or re-plotted) directly.
+func writeSeries(w io.Writer, title string, cols []string, rows [][]float64) {
+	fmt.Fprintln(w, title)
+	t := newTable(cols...)
+	for _, r := range rows {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = fmt.Sprintf("%.4g", v)
+		}
+		t.row(cells...)
+	}
+	t.write(w, "")
+}
+
+// fmtMeanStd renders "mean (std)" the way the paper's tables do.
+func fmtMeanStd(mean, std float64) string {
+	return fmt.Sprintf("%.2f (%.2f)", mean, std)
+}

@@ -1,0 +1,206 @@
+// Package graph provides the directed-multigraph substrate used by the
+// routing system: compact adjacency storage, link capacities and
+// propagation delays, reverse-link pairing for undirected failure
+// semantics, and failure masks for link and node outages.
+//
+// A Graph is immutable once built (see Builder). All per-scenario state
+// (which links are down) lives in a Mask so that a single Graph can be
+// shared by many concurrent evaluations.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Link is a directed network link.
+type Link struct {
+	From     int     // source node
+	To       int     // destination node
+	Capacity float64 // capacity in Mbps
+	Delay    float64 // propagation delay in ms
+	Reverse  int     // index of the reverse link, or -1 if none
+}
+
+// Coord is a planar node position, used by geometric topology generators
+// and for deriving propagation delays from distances.
+type Coord struct {
+	X, Y float64
+}
+
+// Graph is an immutable directed multigraph.
+type Graph struct {
+	n      int
+	links  []Link
+	out    [][]int32 // out[v] lists indices of links leaving v
+	in     [][]int32 // in[v] lists indices of links entering v
+	names  []string
+	coords []Coord
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumLinks returns the number of directed links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Link returns the link with the given index.
+func (g *Graph) Link(i int) Link { return g.links[i] }
+
+// Links returns all links. The returned slice must not be modified.
+func (g *Graph) Links() []Link { return g.links }
+
+// OutLinks returns the indices of links leaving node v.
+// The returned slice must not be modified.
+func (g *Graph) OutLinks(v int) []int32 { return g.out[v] }
+
+// InLinks returns the indices of links entering node v.
+// The returned slice must not be modified.
+func (g *Graph) InLinks(v int) []int32 { return g.in[v] }
+
+// NodeName returns the name of node v, or its index as a string when the
+// graph carries no names.
+func (g *Graph) NodeName(v int) string {
+	if g.names == nil || g.names[v] == "" {
+		return fmt.Sprintf("n%d", v)
+	}
+	return g.names[v]
+}
+
+// NodeCoord returns the planar position of node v and whether the graph
+// carries coordinates at all.
+func (g *Graph) NodeCoord(v int) (Coord, bool) {
+	if g.coords == nil {
+		return Coord{}, false
+	}
+	return g.coords[v], true
+}
+
+// OutDegree returns the number of links leaving v.
+func (g *Graph) OutDegree(v int) int { return len(g.out[v]) }
+
+// MeanOutDegree returns the average out-degree.
+func (g *Graph) MeanOutDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(len(g.links)) / float64(g.n)
+}
+
+// UndirectedEdges returns one link index per reverse-paired link pair
+// (the lower index of each pair) followed by all unpaired links. The
+// result enumerates the "physical" edges of the network.
+func (g *Graph) UndirectedEdges() []int {
+	edges := make([]int, 0, len(g.links)/2+1)
+	for i, l := range g.links {
+		if l.Reverse < 0 || i < l.Reverse {
+			edges = append(edges, i)
+		}
+	}
+	return edges
+}
+
+// TotalCapacity returns the sum of all link capacities in Mbps.
+func (g *Graph) TotalCapacity() float64 {
+	var sum float64
+	for _, l := range g.links {
+		sum += l.Capacity
+	}
+	return sum
+}
+
+// MaxPropDelay returns the largest single-link propagation delay in ms.
+func (g *Graph) MaxPropDelay() float64 {
+	var m float64
+	for _, l := range g.links {
+		m = math.Max(m, l.Delay)
+	}
+	return m
+}
+
+// IsStronglyConnected reports whether every node can reach every other
+// node over alive links. A nil mask means all links are alive.
+func (g *Graph) IsStronglyConnected(mask *Mask) bool {
+	if g.n == 0 {
+		return false
+	}
+	return g.reachableCount(0, mask, false) == g.n &&
+		g.reachableCount(0, mask, true) == g.n
+}
+
+// ReachableFrom returns the number of nodes reachable from src (including
+// src) over alive links.
+func (g *Graph) ReachableFrom(src int, mask *Mask) int {
+	return g.reachableCount(src, mask, false)
+}
+
+func (g *Graph) reachableCount(src int, mask *Mask, reversed bool) int {
+	seen := make([]bool, g.n)
+	stack := make([]int, 0, g.n)
+	seen[src] = true
+	stack = append(stack, src)
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		adj := g.out[v]
+		if reversed {
+			adj = g.in[v]
+		}
+		for _, li := range adj {
+			if mask != nil && !mask.LinkAlive(int(li)) {
+				continue
+			}
+			l := g.links[li]
+			next := l.To
+			if reversed {
+				next = l.From
+			}
+			if mask != nil && !mask.NodeAlive(next) {
+				continue
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Validate checks structural invariants and returns the first violation
+// found, or nil. Build calls it automatically; it is exported so that
+// deserialized graphs can be re-checked.
+func (g *Graph) Validate() error {
+	if g.n < 0 {
+		return fmt.Errorf("graph: negative node count %d", g.n)
+	}
+	for i, l := range g.links {
+		if l.From < 0 || l.From >= g.n || l.To < 0 || l.To >= g.n {
+			return fmt.Errorf("graph: link %d endpoints (%d,%d) out of range [0,%d)", i, l.From, l.To, g.n)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("graph: link %d is a self-loop at node %d", i, l.From)
+		}
+		if l.Capacity <= 0 {
+			return fmt.Errorf("graph: link %d has non-positive capacity %g", i, l.Capacity)
+		}
+		if l.Delay < 0 || math.IsNaN(l.Delay) || math.IsInf(l.Delay, 0) {
+			return fmt.Errorf("graph: link %d has invalid delay %g", i, l.Delay)
+		}
+		if l.Reverse >= 0 {
+			if l.Reverse >= len(g.links) {
+				return fmt.Errorf("graph: link %d reverse index %d out of range", i, l.Reverse)
+			}
+			r := g.links[l.Reverse]
+			if r.From != l.To || r.To != l.From {
+				return fmt.Errorf("graph: link %d and its reverse %d are not opposite", i, l.Reverse)
+			}
+			if r.Reverse != i {
+				return fmt.Errorf("graph: reverse pairing of links %d and %d is not mutual", i, l.Reverse)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+package graph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// ring builds a bidirectional ring over n nodes.
+func ring(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n, 500, 5)
+	}
+	return b.MustBuild()
+}
+
+func TestBuilderAddEdgePairsReverse(t *testing.T) {
+	b := NewBuilder(3)
+	f, r := b.AddEdge(0, 1, 100, 2.5)
+	g := b.MustBuild()
+	if g.NumLinks() != 2 {
+		t.Fatalf("NumLinks = %d, want 2", g.NumLinks())
+	}
+	lf, lr := g.Link(f), g.Link(r)
+	if lf.Reverse != r || lr.Reverse != f {
+		t.Errorf("reverse pairing: got %d/%d, want %d/%d", lf.Reverse, lr.Reverse, r, f)
+	}
+	if lf.From != 0 || lf.To != 1 || lr.From != 1 || lr.To != 0 {
+		t.Errorf("endpoints wrong: %+v %+v", lf, lr)
+	}
+	if lf.Capacity != 100 || lf.Delay != 2.5 {
+		t.Errorf("attributes wrong: %+v", lf)
+	}
+}
+
+func TestBuilderAddArcNoReverse(t *testing.T) {
+	b := NewBuilder(2)
+	i := b.AddArc(0, 1, 10, 1)
+	g := b.MustBuild()
+	if g.Link(i).Reverse != -1 {
+		t.Errorf("AddArc link should have Reverse=-1, got %d", g.Link(i).Reverse)
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Builder
+	}{
+		{"self-loop", func() *Builder {
+			b := NewBuilder(2)
+			b.AddArc(1, 1, 10, 1)
+			return b
+		}},
+		{"out-of-range", func() *Builder {
+			b := NewBuilder(2)
+			b.AddArc(0, 5, 10, 1)
+			return b
+		}},
+		{"zero-capacity", func() *Builder {
+			b := NewBuilder(2)
+			b.AddArc(0, 1, 0, 1)
+			return b
+		}},
+		{"negative-delay", func() *Builder {
+			b := NewBuilder(2)
+			b.AddArc(0, 1, 10, -1)
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.build().Build(); err == nil {
+				t.Errorf("Build accepted invalid graph")
+			}
+		})
+	}
+}
+
+func TestAdjacencyConsistent(t *testing.T) {
+	g := ring(5)
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, li := range g.OutLinks(v) {
+			if g.Link(int(li)).From != v {
+				t.Errorf("out-link %d of node %d has From=%d", li, v, g.Link(int(li)).From)
+			}
+		}
+		for _, li := range g.InLinks(v) {
+			if g.Link(int(li)).To != v {
+				t.Errorf("in-link %d of node %d has To=%d", li, v, g.Link(int(li)).To)
+			}
+		}
+		if g.OutDegree(v) != 2 {
+			t.Errorf("ring out-degree of %d = %d, want 2", v, g.OutDegree(v))
+		}
+	}
+}
+
+func TestUndirectedEdges(t *testing.T) {
+	g := ring(6)
+	edges := g.UndirectedEdges()
+	if len(edges) != 6 {
+		t.Fatalf("UndirectedEdges len = %d, want 6", len(edges))
+	}
+	seen := map[int]bool{}
+	for _, e := range edges {
+		l := g.Link(e)
+		if l.Reverse >= 0 && e > l.Reverse {
+			t.Errorf("edge %d is not the lower index of its pair", e)
+		}
+		if seen[e] {
+			t.Errorf("duplicate edge %d", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	g := ring(4)
+	if !g.IsStronglyConnected(nil) {
+		t.Error("ring should be strongly connected")
+	}
+	// A one-directional chain is not strongly connected.
+	b := NewBuilder(3)
+	b.AddArc(0, 1, 10, 1)
+	b.AddArc(1, 2, 10, 1)
+	chain := b.MustBuild()
+	if chain.IsStronglyConnected(nil) {
+		t.Error("directed chain should not be strongly connected")
+	}
+}
+
+func TestConnectivityUnderMask(t *testing.T) {
+	g := ring(4)
+	m := NewMask(g)
+	// A ring survives any single undirected edge failure.
+	m.FailLinkBoth(0)
+	if !g.IsStronglyConnected(m) {
+		t.Error("ring minus one edge should stay strongly connected")
+	}
+	// Failing two edges incident to the same node isolates it.
+	m.Reset()
+	v := g.Link(0).From
+	for _, li := range g.OutLinks(v) {
+		m.FailLinkBoth(int(li))
+	}
+	if g.IsStronglyConnected(m) {
+		t.Error("isolating a node must break strong connectivity")
+	}
+	if got := g.ReachableFrom((v+1)%4, m); got != 3 {
+		t.Errorf("ReachableFrom = %d, want 3", got)
+	}
+}
+
+func TestMaskNodeFailureKillsIncidentLinks(t *testing.T) {
+	g := ring(4)
+	m := NewMask(g)
+	m.FailNode(2)
+	for li := 0; li < g.NumLinks(); li++ {
+		l := g.Link(li)
+		touches := l.From == 2 || l.To == 2
+		if touches && m.LinkAlive(li) {
+			t.Errorf("link %d touches dead node but is alive", li)
+		}
+		if !touches && !m.LinkAlive(li) {
+			t.Errorf("link %d does not touch dead node but is dead", li)
+		}
+	}
+	if m.NodeAlive(2) {
+		t.Error("failed node reported alive")
+	}
+}
+
+func TestNilMaskIsAllAlive(t *testing.T) {
+	var m *Mask
+	if !m.NodeAlive(0) || !m.LinkAlive(0) {
+		t.Error("nil mask must report everything alive")
+	}
+	if m.AnyFailure() {
+		t.Error("nil mask must report no failures")
+	}
+	m.Reset() // must not panic
+}
+
+func TestMaskResetRevives(t *testing.T) {
+	g := ring(3)
+	m := NewMask(g)
+	m.FailLink(1)
+	m.FailNode(0)
+	if !m.AnyFailure() {
+		t.Fatal("expected failures before reset")
+	}
+	m.Reset()
+	if m.AnyFailure() {
+		t.Error("reset should revive everything")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	b := NewBuilder(4)
+	b.SetNodeName(0, "nyc")
+	b.SetNodeCoord(0, Coord{X: 0.1, Y: 0.9})
+	b.AddEdge(0, 1, 500, 5)
+	b.AddEdge(1, 2, 200, 7.25)
+	b.AddArc(2, 3, 100, 3)
+	b.AddArc(3, 0, 100, 3)
+	g := b.MustBuild()
+
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumLinks() != g.NumLinks() {
+		t.Fatalf("size mismatch after round trip")
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		if g.Link(i) != back.Link(i) {
+			t.Errorf("link %d mismatch: %+v vs %+v", i, g.Link(i), back.Link(i))
+		}
+	}
+	if back.NodeName(0) != "nyc" {
+		t.Errorf("name lost: %q", back.NodeName(0))
+	}
+	if c, ok := back.NodeCoord(0); !ok || c != (Coord{X: 0.1, Y: 0.9}) {
+		t.Errorf("coord lost: %v %v", c, ok)
+	}
+	// Adjacency must have been rebuilt.
+	if back.OutDegree(0) != g.OutDegree(0) {
+		t.Errorf("adjacency not rebuilt: deg %d vs %d", back.OutDegree(0), g.OutDegree(0))
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"nodes":2,"links":[{"from":0,"to":9,"capacity":1,"delay":1,"reverse":-1}]}`), &g); err == nil {
+		t.Error("unmarshal accepted out-of-range link")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &g); err == nil {
+		t.Error("unmarshal accepted garbage")
+	}
+}
+
+// randomConnectedGraph builds a random graph guaranteed strongly
+// connected by first laying down a ring.
+func randomConnectedGraph(rng *rand.Rand, n, extra int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n, 100+rng.Float64()*400, 1+rng.Float64()*19)
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v, 100+rng.Float64()*400, 1+rng.Float64()*19)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestQuickJSONRoundTripPreservesLinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(r, 3+r.Intn(10), r.Intn(12))
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		if back.NumLinks() != g.NumLinks() || back.NumNodes() != g.NumNodes() {
+			return false
+		}
+		for i := range g.Links() {
+			if g.Link(i) != back.Link(i) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAdjacencySumsMatchLinkCount(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(r, 3+r.Intn(15), r.Intn(20))
+		var outSum, inSum int
+		for v := 0; v < g.NumNodes(); v++ {
+			outSum += len(g.OutLinks(v))
+			inSum += len(g.InLinks(v))
+		}
+		return outSum == g.NumLinks() && inSum == g.NumLinks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanOutDegreeAndCapacity(t *testing.T) {
+	g := ring(4) // 8 links of 500 Mbps
+	if got := g.MeanOutDegree(); got != 2 {
+		t.Errorf("MeanOutDegree = %g, want 2", got)
+	}
+	if got := g.TotalCapacity(); got != 8*500 {
+		t.Errorf("TotalCapacity = %g, want 4000", got)
+	}
+	if got := g.MaxPropDelay(); got != 5 {
+		t.Errorf("MaxPropDelay = %g, want 5", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder(3)
+	b.SetNodeName(0, "a")
+	b.AddEdge(0, 1, 500, 5)
+	b.AddArc(1, 2, 500, 2.5)
+	g := b.MustBuild()
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf, "test", map[int]bool{0: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "test"`, `label="a"`, "0 -- 1", "1 -- 2", "dir=forward", "color=red", "5.0ms", "2.5ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Each undirected pair drawn exactly once; the one-way link once more.
+	if strings.Count(out, " -- ") != 2 {
+		t.Errorf("expected exactly two edge statements, got:\n%s", out)
+	}
+	// Undirected graph blocks must never contain directed edge syntax.
+	if strings.Contains(out, "->") {
+		t.Errorf("DOT graph block contains -> edge:\n%s", out)
+	}
+}

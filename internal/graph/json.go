@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonGraph is the serialized form of a Graph. Reverse pairing is
+// reconstructed from the link list, so the format stores only the
+// physical fields.
+type jsonGraph struct {
+	Nodes  int        `json:"nodes"`
+	Links  []jsonLink `json:"links"`
+	Names  []string   `json:"names,omitempty"`
+	Coords []Coord    `json:"coords,omitempty"`
+}
+
+type jsonLink struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Capacity float64 `json:"capacity"`
+	Delay    float64 `json:"delay"`
+	Reverse  int     `json:"reverse"`
+}
+
+// MarshalJSON encodes the graph in a stable, self-contained format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Nodes: g.n, Names: g.names, Coords: g.coords}
+	jg.Links = make([]jsonLink, len(g.links))
+	for i, l := range g.links {
+		jg.Links[i] = jsonLink{From: l.From, To: l.To, Capacity: l.Capacity, Delay: l.Delay, Reverse: l.Reverse}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph and re-validates its invariants.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	ng := Graph{n: jg.Nodes, names: jg.Names, coords: jg.Coords}
+	ng.links = make([]Link, len(jg.Links))
+	for i, l := range jg.Links {
+		ng.links[i] = Link{From: l.From, To: l.To, Capacity: l.Capacity, Delay: l.Delay, Reverse: l.Reverse}
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	ng.buildAdjacency()
+	*g = ng
+	return nil
+}

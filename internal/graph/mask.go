@@ -1,0 +1,83 @@
+package graph
+
+// Mask captures a failure scenario over a graph: any combination of dead
+// links and dead nodes. A nil *Mask means "everything alive"; all Mask
+// methods are safe on a nil receiver.
+//
+// Masks are cheap to reset and reuse, so evaluation loops can keep one
+// per worker rather than allocating per scenario.
+type Mask struct {
+	deadLinks []bool
+	deadNodes []bool
+	g         *Graph
+}
+
+// NewMask returns an all-alive mask for g.
+func NewMask(g *Graph) *Mask {
+	return &Mask{
+		deadLinks: make([]bool, g.NumLinks()),
+		deadNodes: make([]bool, g.NumNodes()),
+		g:         g,
+	}
+}
+
+// Reset revives all links and nodes.
+func (m *Mask) Reset() {
+	if m == nil {
+		return
+	}
+	clear(m.deadLinks)
+	clear(m.deadNodes)
+}
+
+// LinkAlive reports whether link li is up, accounting for the liveness of
+// its endpoints.
+func (m *Mask) LinkAlive(li int) bool {
+	if m == nil {
+		return true
+	}
+	if m.deadLinks[li] {
+		return false
+	}
+	l := m.g.Link(li)
+	return !m.deadNodes[l.From] && !m.deadNodes[l.To]
+}
+
+// NodeAlive reports whether node v is up.
+func (m *Mask) NodeAlive(v int) bool {
+	return m == nil || !m.deadNodes[v]
+}
+
+// FailLink marks the directed link li as down.
+func (m *Mask) FailLink(li int) { m.deadLinks[li] = true }
+
+// FailLinkBoth marks link li and its reverse (if paired) as down,
+// modeling a physical (fiber-cut) failure.
+func (m *Mask) FailLinkBoth(li int) {
+	m.deadLinks[li] = true
+	if r := m.g.Link(li).Reverse; r >= 0 {
+		m.deadLinks[r] = true
+	}
+}
+
+// FailNode marks node v as down. All incident links become dead through
+// LinkAlive's endpoint check.
+func (m *Mask) FailNode(v int) { m.deadNodes[v] = true }
+
+// AnyFailure reports whether the mask differs from the all-alive state.
+func (m *Mask) AnyFailure() bool {
+	if m == nil {
+		return false
+	}
+	for _, d := range m.deadLinks {
+		if d {
+			return true
+		}
+	}
+	for _, d := range m.deadNodes {
+		if d {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package opt
+
+import "repro/internal/core"
+
+// Solution bundles the full pipeline output: the regular (Phase 1) and
+// robust (Phase 2) weight settings plus the criticality artifacts that
+// connect them.
+type Solution struct {
+	Phase1 *Phase1Result
+	Phase2 *Phase2Result
+	// Critical is the selected critical link set (Phase 1c).
+	Critical []int
+	// Criticality is the final per-link estimate the selection used.
+	Criticality core.Criticality
+}
+
+// Run executes the complete heuristic of Fig. 1: Phase 1 (regular
+// optimization with sample harvesting), Phase 1b (top-up sampling until
+// rank convergence), Phase 1c (critical link selection at the configured
+// |Ec|/|E|), and Phase 2 (robust optimization against the critical
+// links).
+func (o *Optimizer) Run() *Solution {
+	p1 := o.RunPhase1()
+	o.TopUpSamples(p1)
+	critical := o.SelectCritical(p1, o.cfg.TargetCriticalFrac)
+	fs := FailureSet{Links: critical, Both: o.cfg.FailBoth}
+	p2 := o.RunPhase2(p1, fs)
+	return &Solution{
+		Phase1:      p1,
+		Phase2:      p2,
+		Critical:    critical,
+		Criticality: p1.Sampler.Estimate(),
+	}
+}
+
+// RunFullSearch executes Phase 1 followed by a Phase 2 that optimizes
+// against every single link failure (Ec = E), the paper's brute-force
+// baseline.
+func (o *Optimizer) RunFullSearch() *Solution {
+	p1 := o.RunPhase1()
+	fs := AllLinkFailures(o.ev)
+	fs.Both = o.cfg.FailBoth
+	p2 := o.RunPhase2(p1, fs)
+	return &Solution{
+		Phase1:      p1,
+		Phase2:      p2,
+		Critical:    fs.Links,
+		Criticality: p1.Sampler.Estimate(),
+	}
+}

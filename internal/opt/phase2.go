@@ -1,0 +1,201 @@
+package opt
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/routing"
+)
+
+// FailureSet lists the failure scenarios a robust search optimizes
+// against: any mix of directed-link failures and node failures. Both
+// applies the physical (both-directions) link semantics.
+//
+// LinkProbs/NodeProbs, when set, weight each scenario's cost in the
+// robust objective — the probabilistic failure model the paper's
+// conclusion proposes as an extension. Unweighted sets reproduce the
+// paper's uniform Σ over scenarios.
+type FailureSet struct {
+	Links []int
+	Nodes []int
+	Both  bool
+	// LinkProbs and NodeProbs are per-scenario weights aligned with
+	// Links and Nodes (e.g. failure probabilities). Nil means uniform.
+	LinkProbs []float64
+	NodeProbs []float64
+}
+
+// Size returns the scenario count.
+func (fs FailureSet) Size() int { return len(fs.Links) + len(fs.Nodes) }
+
+// validate panics on malformed probability vectors; called by RunPhase2.
+func (fs FailureSet) validate() {
+	if fs.LinkProbs != nil && len(fs.LinkProbs) != len(fs.Links) {
+		panic("opt: LinkProbs length does not match Links")
+	}
+	if fs.NodeProbs != nil && len(fs.NodeProbs) != len(fs.Nodes) {
+		panic("opt: NodeProbs length does not match Nodes")
+	}
+}
+
+// weightedCost compounds per-scenario costs under the set's weights
+// (uniform when no probabilities are given). results must come from
+// EvaluateFailureSet with the same set.
+func (fs FailureSet) weightedCost(results []routing.Result) cost.Cost {
+	var total cost.Cost
+	for i := range results {
+		w := 1.0
+		if i < len(fs.Links) {
+			if fs.LinkProbs != nil {
+				w = fs.LinkProbs[i]
+			}
+		} else if fs.NodeProbs != nil {
+			w = fs.NodeProbs[i-len(fs.Links)]
+		}
+		total.Lambda += w * results[i].Cost.Lambda
+		total.Phi += w * results[i].Cost.Phi
+	}
+	return total
+}
+
+// AllLinkFailures covers every directed link of the evaluator's graph.
+func AllLinkFailures(ev *routing.Evaluator) FailureSet {
+	return FailureSet{Links: ev.AllLinks()}
+}
+
+// AllNodeFailures covers every node.
+func AllNodeFailures(ev *routing.Evaluator) FailureSet {
+	return FailureSet{Nodes: ev.AllNodes()}
+}
+
+// EvaluateFailureSet evaluates w under every scenario in fs (in
+// parallel) and returns the per-scenario results: links first, then
+// nodes, in the order listed.
+func EvaluateFailureSet(ev *routing.Evaluator, w *routing.WeightSetting, fs FailureSet) []routing.Result {
+	results := make([]routing.Result, fs.Size())
+	ev.SweepLinkFailures(w, fs.Links, fs.Both, results[:len(fs.Links)])
+	ev.SweepNodeFailures(w, fs.Nodes, results[len(fs.Links):])
+	return results
+}
+
+// Phase2Result carries the robust optimization outcome.
+type Phase2Result struct {
+	// BestW is the most robust weight setting found; Normal its
+	// normal-conditions evaluation.
+	BestW  *routing.WeightSetting
+	Normal routing.Result
+	// FailCost is the compounded cost over the optimized failure set
+	// (Λ̄_fail, Φ̄_fail of Eq. 7).
+	FailCost cost.Cost
+	// StartPool is the number of Phase 1 settings the search started
+	// from.
+	StartPool int
+	Stats     Stats
+}
+
+// RunPhase2 performs the robust optimization of Eq. (4) over the given
+// failure scenarios (normally the critical links from Phase 1c; the full
+// link set for a full search; or node failures). Starting from the
+// acceptable settings recorded in Phase 1, it locally searches for the
+// weight setting minimizing the compounded failure cost, subject to the
+// normal-conditions constraints: Λ_normal = Λ* and Φ_normal ≤ (1+χ)Φ*.
+func (o *Optimizer) RunPhase2(p1 *Phase1Result, fs FailureSet) *Phase2Result {
+	start := time.Now()
+	fs.validate()
+	cfg := o.cfg
+	m := o.ev.Graph().NumLinks()
+	lambdaStar := p1.Best.Cost.Lambda
+	phiBound := (1 + cfg.Chi) * p1.Best.Cost.Phi
+
+	evals := 0
+	evalFail := func(w *routing.WeightSetting) cost.Cost {
+		rs := EvaluateFailureSet(o.ev, w, fs)
+		evals += len(rs)
+		return fs.weightedCost(rs)
+	}
+
+	bestFail := cost.Cost{Lambda: math.Inf(1), Phi: math.Inf(1)}
+	var bestW *routing.WeightSetting
+
+	w := routing.NewWeightSetting(m)
+	var cand routing.Result
+	iter := 0
+	lowGain := 0
+	for round := 0; lowGain < cfg.P2 && (cfg.MaxIter2 == 0 || iter < cfg.MaxIter2); round++ {
+		// Each diversification round starts from a recorded acceptable
+		// setting (cycling through the pool, then randomly).
+		var entry PoolEntry
+		if round < len(p1.Pool) {
+			entry = p1.Pool[round]
+		} else {
+			entry = p1.Pool[o.rng.Intn(len(p1.Pool))]
+		}
+		w.CopyFrom(entry.W)
+		curFail := evalFail(w)
+		if curFail.Less(bestFail) {
+			bestFail = curFail
+			bestW = w.Clone()
+		}
+		roundStartBest := bestFail
+
+		sinceImprove := 0
+		for sinceImprove < cfg.Div2Interval && (cfg.MaxIter2 == 0 || iter < cfg.MaxIter2) {
+			iter++
+			improved := false
+			for _, l := range o.rng.Perm(m) {
+				wd := int32(1 + o.rng.Intn(cfg.WMax))
+				wt := int32(1 + o.rng.Intn(cfg.WMax))
+				prevD, prevT := w.Set(l, wd, wt)
+				o.ev.EvaluateNormal(w, &cand)
+				evals++
+				accepted := false
+				// Constraints first: never trade away normal-conditions
+				// delay performance; cap throughput degradation.
+				if cand.Cost.Lambda <= lambdaStar+1e-9 && cand.Cost.Phi <= phiBound+1e-12 {
+					if candFail := evalFail(w); candFail.Less(curFail) {
+						curFail = candFail
+						improved = true
+						accepted = true
+						if candFail.Less(bestFail) {
+							bestFail = candFail
+							if bestW == nil {
+								bestW = w.Clone()
+							} else {
+								bestW.CopyFrom(w)
+							}
+						}
+					}
+				}
+				if !accepted {
+					w.Set(l, prevD, prevT)
+				}
+			}
+			if improved {
+				sinceImprove = 0
+			} else {
+				sinceImprove++
+			}
+		}
+		if relGain(roundStartBest, bestFail) < cfg.CFrac {
+			lowGain++
+		} else {
+			lowGain = 0
+		}
+	}
+
+	if bestW == nil {
+		// Degenerate budget (MaxIter2 = 0 rounds): fall back to the best
+		// recorded setting.
+		bestW = p1.Pool[0].W.Clone()
+		bestFail = evalFail(bestW)
+	}
+	res := &Phase2Result{
+		BestW:     bestW,
+		FailCost:  bestFail,
+		StartPool: len(p1.Pool),
+		Stats:     Stats{Iterations: iter, Evaluations: evals, Duration: time.Since(start)},
+	}
+	o.ev.EvaluateNormal(bestW, &res.Normal)
+	return res
+}

@@ -1,0 +1,69 @@
+package opt
+
+import (
+	"repro/internal/cost"
+	"repro/internal/routing"
+)
+
+// PoolEntry is a recorded weight setting together with its
+// normal-conditions cost.
+type PoolEntry struct {
+	W      *routing.WeightSetting
+	Normal cost.Cost
+}
+
+// pool keeps the best acceptable weight settings found during Phase 1,
+// bounded in size. Entries are kept in lexicographic cost order (best
+// first); when full, a better entry evicts the current worst.
+type pool struct {
+	cap     int
+	entries []PoolEntry
+}
+
+func newPool(capacity int) *pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &pool{cap: capacity}
+}
+
+// consider copies w into the pool if it qualifies.
+func (p *pool) consider(w *routing.WeightSetting, c cost.Cost) {
+	if len(p.entries) == p.cap && !c.Less(p.entries[len(p.entries)-1].Normal) {
+		return
+	}
+	// Skip exact duplicates of the current best few to keep diversity.
+	for i := range p.entries {
+		if p.entries[i].Normal == c && p.entries[i].W.Equal(w) {
+			return
+		}
+	}
+	e := PoolEntry{W: w.Clone(), Normal: c}
+	// Insertion sort by lexicographic cost.
+	pos := len(p.entries)
+	for pos > 0 && c.Less(p.entries[pos-1].Normal) {
+		pos--
+	}
+	p.entries = append(p.entries, PoolEntry{})
+	copy(p.entries[pos+1:], p.entries[pos:])
+	p.entries[pos] = e
+	if len(p.entries) > p.cap {
+		p.entries = p.entries[:p.cap]
+	}
+}
+
+// filtered returns the entries satisfying the robustness constraints
+// against the final Phase 1 benchmarks: Λ = Λ* (Eq. 5) and
+// Φ ≤ (1+χ)Φ* (Eq. 6).
+func (p *pool) filtered(best cost.Cost, chi float64) []PoolEntry {
+	var out []PoolEntry
+	bound := (1 + chi) * best.Phi
+	for _, e := range p.entries {
+		if e.Normal.SameLambda(best) && e.Normal.Phi <= bound+1e-12 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (p *pool) size() int { return len(p.entries) }

@@ -1,0 +1,115 @@
+// Package queuesim is an event-driven single-queue simulator used to
+// validate the paper's analytic link-delay model (Eq. 1): the model
+// approximates the average queueing delay of a link under load x and
+// capacity C with an M/M/1 term κ/C · x/(C−x). This package simulates
+// the M/M/1 queue directly — Poisson packet arrivals, exponential packet
+// sizes, FIFO service at line rate — so tests and benchmarks can check
+// the closed form against first-principles behaviour, including the
+// regime where the linearized continuation takes over.
+//
+// The paper justifies the model by citing measured single-hop delays on
+// an operational backbone; in this reproduction the simulator plays that
+// role (DESIGN.md documents the substitution).
+package queuesim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config describes one simulated link.
+type Config struct {
+	// CapacityMbps is the line rate C.
+	CapacityMbps float64
+	// LoadMbps is the offered traffic x (must be below capacity for a
+	// stable queue).
+	LoadMbps float64
+	// MeanPacketBits is the average packet size κ in bits; packet sizes
+	// are exponential, making the system exactly M/M/1.
+	MeanPacketBits float64
+	// Packets is the number of packets to simulate after warm-up.
+	Packets int
+	// Warmup is the number of initial packets discarded while the queue
+	// reaches steady state.
+	Warmup int
+	// Seed drives the arrival and size processes.
+	Seed int64
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	// MeanWaitMs is the average time a packet spends queued before its
+	// transmission starts, in ms.
+	MeanWaitMs float64
+	// MeanSojournMs adds the packet's own transmission time (the "system
+	// time" W of queueing theory).
+	MeanSojournMs float64
+	// Utilization is the measured busy fraction of the server.
+	Utilization float64
+	// Packets is the number of samples behind the averages.
+	Packets int
+}
+
+// Run simulates the queue and returns delay statistics.
+//
+// Implementation: with a single FIFO server, inter-arrival times
+// exponential with rate λ = load/κ packets per second and service times
+// exponential with mean κ/C seconds, the waiting time follows the
+// Lindley recursion W_{n+1} = max(0, W_n + S_n − A_{n+1}), which needs
+// no event calendar.
+func Run(cfg Config) (Result, error) {
+	if cfg.CapacityMbps <= 0 || cfg.MeanPacketBits <= 0 {
+		return Result{}, fmt.Errorf("queuesim: capacity and packet size must be positive")
+	}
+	if cfg.LoadMbps < 0 || cfg.LoadMbps >= cfg.CapacityMbps {
+		return Result{}, fmt.Errorf("queuesim: load %g must be in [0, capacity %g) for a stable queue",
+			cfg.LoadMbps, cfg.CapacityMbps)
+	}
+	if cfg.Packets <= 0 {
+		return Result{}, fmt.Errorf("queuesim: need a positive packet budget")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Rates in packets per millisecond.
+	meanServiceMs := cfg.MeanPacketBits / (cfg.CapacityMbps * 1e6) * 1e3
+	if cfg.LoadMbps == 0 {
+		return Result{MeanWaitMs: 0, MeanSojournMs: meanServiceMs, Packets: cfg.Packets}, nil
+	}
+	meanInterArrivalMs := cfg.MeanPacketBits / (cfg.LoadMbps * 1e6) * 1e3
+
+	var wait float64 // Lindley state: waiting time of the current packet
+	var sumWait, sumSojourn, busy, horizon float64
+	count := 0
+	for i := 0; i < cfg.Warmup+cfg.Packets; i++ {
+		service := rng.ExpFloat64() * meanServiceMs
+		if i >= cfg.Warmup {
+			sumWait += wait
+			sumSojourn += wait + service
+			busy += service
+			count++
+		}
+		interArrival := rng.ExpFloat64() * meanInterArrivalMs
+		if i >= cfg.Warmup {
+			horizon += interArrival
+		}
+		wait = math.Max(0, wait+service-interArrival)
+	}
+	res := Result{
+		MeanWaitMs:    sumWait / float64(count),
+		MeanSojournMs: sumSojourn / float64(count),
+		Packets:       count,
+	}
+	if horizon > 0 {
+		res.Utilization = busy / horizon
+	}
+	return res, nil
+}
+
+// TheoryWaitMs returns the exact M/M/1 mean waiting time for comparison:
+// ρ/(1−ρ) service times.
+func TheoryWaitMs(cfg Config) float64 {
+	rho := cfg.LoadMbps / cfg.CapacityMbps
+	meanServiceMs := cfg.MeanPacketBits / (cfg.CapacityMbps * 1e6) * 1e3
+	return rho / (1 - rho) * meanServiceMs
+}

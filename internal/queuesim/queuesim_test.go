@@ -1,0 +1,143 @@
+package queuesim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func baseConfig(loadMbps float64) Config {
+	return Config{
+		CapacityMbps:   500,
+		LoadMbps:       loadMbps,
+		MeanPacketBits: 1500 * 8,
+		Packets:        400000,
+		Warmup:         40000,
+		Seed:           1,
+	}
+}
+
+func TestZeroLoadNoWait(t *testing.T) {
+	res, err := Run(baseConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanWaitMs != 0 {
+		t.Errorf("wait at zero load = %g", res.MeanWaitMs)
+	}
+	if res.MeanSojournMs <= 0 {
+		t.Errorf("sojourn must include transmission time, got %g", res.MeanSojournMs)
+	}
+}
+
+func TestRejectsUnstableQueue(t *testing.T) {
+	for _, load := range []float64{500, 600, -1} {
+		if _, err := Run(baseConfig(load)); err == nil {
+			t.Errorf("load %g accepted", load)
+		}
+	}
+	if _, err := Run(Config{CapacityMbps: 0, MeanPacketBits: 1, Packets: 1}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	cfg := baseConfig(100)
+	cfg.Packets = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero packet budget accepted")
+	}
+}
+
+func TestMatchesMM1Theory(t *testing.T) {
+	// The simulated mean wait must match ρ/(1−ρ)·E[S] within Monte-Carlo
+	// noise across the load range the paper's model covers.
+	for _, rho := range []float64{0.3, 0.6, 0.8, 0.9, 0.95} {
+		cfg := baseConfig(rho * 500)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := TheoryWaitMs(cfg)
+		if rel := math.Abs(res.MeanWaitMs-want) / want; rel > 0.08 {
+			t.Errorf("rho=%.2f: simulated wait %.4f ms vs theory %.4f ms (rel err %.1f%%)",
+				rho, res.MeanWaitMs, want, rel*100)
+		}
+		if math.Abs(res.Utilization-rho) > 0.02 {
+			t.Errorf("rho=%.2f: measured utilization %.3f", rho, res.Utilization)
+		}
+	}
+}
+
+func TestValidatesPaperDelayModel(t *testing.T) {
+	// Eq. (1b) charges κ/C·(x/(C−x)+1) above the µ threshold: the M/M/1
+	// sojourn time (wait + transmission). Simulate at 95% load — the
+	// paper's checkpoint — and compare against the model's queueing term.
+	p := cost.DefaultParams()
+	cfg := baseConfig(0.96 * 500)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := p.LinkDelayMs(0.96*500, 500, 0) // pure queueing term (no propagation)
+	if rel := math.Abs(res.MeanSojournMs-model) / model; rel > 0.08 {
+		t.Errorf("model %.4f ms vs simulated %.4f ms (rel err %.1f%%)", model, res.MeanSojournMs, rel*100)
+	}
+}
+
+func TestModelConservativeBelowThreshold(t *testing.T) {
+	// Below µ the model charges zero queueing delay; the real queue does
+	// wait a little. Quantify that the neglected delay is small relative
+	// to the propagation delays it is compared against (the paper's
+	// justification for µ=0.95).
+	cfg := baseConfig(0.9 * 500) // just under the µ=0.95 threshold
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neglected sojourn must be well under the smallest ~5 ms propagation
+	// delay of the evaluation topologies.
+	if res.MeanSojournMs > 0.5 {
+		t.Errorf("neglected queueing %.3f ms too large to ignore", res.MeanSojournMs)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := Run(baseConfig(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanWaitMs != b.MeanWaitMs {
+		t.Error("same seed, different result")
+	}
+	cfg := baseConfig(250)
+	cfg.Seed = 2
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanWaitMs == c.MeanWaitMs {
+		t.Error("different seeds should differ")
+	}
+}
+
+// BenchmarkModelVsSimulation reports the model and simulated queueing
+// delay across the load range as benchmark metrics, giving a recorded
+// validation trace in bench output.
+func BenchmarkModelVsSimulation(b *testing.B) {
+	p := cost.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		cfg := baseConfig(0.96 * 500)
+		cfg.Packets = 200000
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.MeanSojournMs, "sim_ms")
+			b.ReportMetric(p.LinkDelayMs(0.96*500, 500, 0), "model_ms")
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package routing
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/spf"
+	"repro/internal/traffic"
+)
+
+// DelayMetric selects how the end-to-end delay of an SD pair is read off
+// its ECMP DAG.
+type DelayMetric int
+
+const (
+	// WorstPath charges each pair the largest delay over its equal-cost
+	// paths (conservative SLA accounting; the default).
+	WorstPath DelayMetric = iota
+	// MeanPath charges the expected delay under even ECMP splitting.
+	MeanPath
+)
+
+// phiDropPenaltyPerMbps is the Φ charge per Mbps of throughput demand
+// whose source is disconnected from its destination: the slope of the
+// Fortz–Thorup cost in its overloaded regime, i.e. the drop is priced
+// like traffic squeezed onto a fully saturated link (see DESIGN.md).
+const phiDropPenaltyPerMbps = 5000
+
+// Result holds the outcome of one network evaluation.
+type Result struct {
+	// Cost is the lexicographic network cost: Λ (SLA penalties of the
+	// delay class) and raw Φ (congestion cost of the throughput class).
+	Cost cost.Cost
+	// PhiNorm is Φ divided by the uncapacitated min-hop routing cost, the
+	// scale-free form plotted in the paper's figures.
+	PhiNorm float64
+	// Violations counts SD pairs whose delay-class traffic breaks the SLA
+	// bound (disconnected pairs included).
+	Violations int
+	// Disconnected counts delay-class pairs with no surviving path.
+	Disconnected int
+	// MaxUtil and AvgUtil summarize total-load utilization over alive links.
+	MaxUtil, AvgUtil float64
+
+	// Detail fields, filled only when Evaluator.Detail is set.
+
+	// LoadTotal and LoadThroughput are per-link loads in Mbps.
+	LoadTotal, LoadThroughput []float64
+	// PairDelay[s*n+t] is the end-to-end delay of the delay-class pair
+	// (s,t), spf.InfDelay if disconnected, 0 on the diagonal.
+	PairDelay []float64
+	// PairMaxUtil[s*n+t] is the largest total-load utilization on the
+	// delay-class paths of pair (s,t) (Table V's per-pair metric).
+	PairMaxUtil []float64
+}
+
+// Evaluator computes network costs for weight settings over a fixed
+// graph, traffic matrices and cost parameters. It is safe for concurrent
+// use: all mutable state lives in pooled per-call scratch buffers.
+type Evaluator struct {
+	g      *graph.Graph
+	demD   *traffic.Matrix
+	demT   *traffic.Matrix
+	params cost.Params
+	metric DelayMetric
+	// Detail makes Evaluate fill the per-link and per-pair fields of
+	// Result. Off by default: optimization loops only need aggregates.
+	Detail bool
+
+	phiUncap float64
+	pool     sync.Pool
+}
+
+// NewEvaluator builds an evaluator. The matrices must match the graph's
+// node count.
+func NewEvaluator(g *graph.Graph, demDelay, demThroughput *traffic.Matrix, params cost.Params, metric DelayMetric) *Evaluator {
+	if demDelay.Size() != g.NumNodes() || demThroughput.Size() != g.NumNodes() {
+		panic("routing: traffic matrix size does not match graph")
+	}
+	e := &Evaluator{g: g, demD: demDelay, demT: demThroughput, params: params, metric: metric}
+	e.pool.New = func() any { return e.newScratch() }
+	e.phiUncap = e.computePhiUncap()
+	return e
+}
+
+// Graph returns the underlying graph.
+func (e *Evaluator) Graph() *graph.Graph { return e.g }
+
+// Params returns the cost parameters in use.
+func (e *Evaluator) Params() cost.Params { return e.params }
+
+// DemandDelay returns the delay-class traffic matrix.
+func (e *Evaluator) DemandDelay() *traffic.Matrix { return e.demD }
+
+// DemandThroughput returns the throughput-class traffic matrix.
+func (e *Evaluator) DemandThroughput() *traffic.Matrix { return e.demT }
+
+// PhiUncap returns the normalization constant for Φ: the cost of routing
+// all traffic on min-hop paths at unit slope.
+func (e *Evaluator) PhiUncap() float64 { return e.phiUncap }
+
+type scratch struct {
+	ws        *spf.Workspace
+	states    []spf.State // delay-class SPF snapshot per destination
+	loadD     []float64
+	loadT     []float64
+	loadTot   []float64
+	linkDelay []float64
+	demCol    []float64
+	delays    []float64
+	utilDP    []float64
+	linkUtil  []float64
+}
+
+func (e *Evaluator) newScratch() *scratch {
+	n, m := e.g.NumNodes(), e.g.NumLinks()
+	return &scratch{
+		ws:        spf.NewWorkspace(e.g),
+		states:    make([]spf.State, n),
+		loadD:     make([]float64, m),
+		loadT:     make([]float64, m),
+		loadTot:   make([]float64, m),
+		linkDelay: make([]float64, m),
+		demCol:    make([]float64, n),
+		delays:    make([]float64, n),
+		utilDP:    make([]float64, n),
+		linkUtil:  make([]float64, m),
+	}
+}
+
+func (e *Evaluator) computePhiUncap() float64 {
+	ws := spf.NewWorkspace(e.g)
+	unit := spf.UnitWeights(e.g)
+	hops := make([]float64, e.g.NumNodes())
+	var sum float64
+	n := e.g.NumNodes()
+	for t := 0; t < n; t++ {
+		ws.HopCounts(e.g, t, nil, unit, hops)
+		for s := 0; s < n; s++ {
+			if s == t || math.IsInf(hops[s], 1) {
+				continue
+			}
+			sum += (e.demD.At(s, t) + e.demT.At(s, t)) * hops[s]
+		}
+	}
+	if sum == 0 {
+		return 1 // avoid division by zero for empty matrices
+	}
+	return sum
+}
+
+// Evaluate computes the network state for weight setting w under the
+// failure scenario described by mask (nil = normal conditions). skipNode,
+// if non-negative, removes all traffic sourced or sunk at that node (the
+// paper's node-failure semantics).
+func (e *Evaluator) Evaluate(w *WeightSetting, mask *graph.Mask, skipNode int, res *Result) {
+	sc := e.pool.Get().(*scratch)
+	defer e.pool.Put(sc)
+	e.evaluate(sc, w, mask, skipNode, res)
+}
+
+// EvaluateNormal is Evaluate under normal conditions.
+func (e *Evaluator) EvaluateNormal(w *WeightSetting, res *Result) {
+	e.Evaluate(w, nil, -1, res)
+}
+
+// EvaluateLinkFailure evaluates w with the directed link li down. When
+// both is true the reverse link fails too (physical fiber cut).
+func (e *Evaluator) EvaluateLinkFailure(w *WeightSetting, li int, both bool, res *Result) {
+	sc := e.pool.Get().(*scratch)
+	defer e.pool.Put(sc)
+	mask := graph.NewMask(e.g) // small; per-call allocation is fine here
+	if both {
+		mask.FailLinkBoth(li)
+	} else {
+		mask.FailLink(li)
+	}
+	e.evaluate(sc, w, mask, -1, res)
+}
+
+// EvaluateNodeFailure evaluates w with node v down and all traffic
+// sourced or sunk at v removed.
+func (e *Evaluator) EvaluateNodeFailure(w *WeightSetting, v int, res *Result) {
+	sc := e.pool.Get().(*scratch)
+	defer e.pool.Put(sc)
+	mask := graph.NewMask(e.g)
+	mask.FailNode(v)
+	e.evaluate(sc, w, mask, v, res)
+}
+
+func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, skipNode int, res *Result) {
+	g := e.g
+	n, m := g.NumNodes(), g.NumLinks()
+	clear(sc.loadD)
+	clear(sc.loadT)
+
+	var droppedT float64
+
+	// Pass 1: route both classes per destination; snapshot the delay
+	// class SPF so the delay DP can revisit its DAGs after link delays
+	// are known.
+	for t := 0; t < n; t++ {
+		if t == skipNode || !mask.NodeAlive(t) {
+			continue
+		}
+		// Delay class.
+		sc.ws.Run(g, w.Delay, t, mask)
+		sc.ws.Save(&sc.states[t])
+		e.demD.Column(t, sc.demCol)
+		if skipNode >= 0 {
+			sc.demCol[skipNode] = 0
+		}
+		sc.ws.AccumulateLoads(g, w.Delay, sc.demCol, mask, sc.loadD)
+		// Throughput class.
+		sc.ws.Run(g, w.Throughput, t, mask)
+		e.demT.Column(t, sc.demCol)
+		if skipNode >= 0 {
+			sc.demCol[skipNode] = 0
+		}
+		droppedT += sc.ws.AccumulateLoads(g, w.Throughput, sc.demCol, mask, sc.loadT)
+	}
+
+	// Total loads, link delays, utilizations, Φ.
+	var phi, maxUtil, sumUtil float64
+	alive := 0
+	for li := 0; li < m; li++ {
+		tot := sc.loadD[li] + sc.loadT[li]
+		sc.loadTot[li] = tot
+		l := g.Link(li)
+		sc.linkDelay[li] = e.params.LinkDelayMs(tot, l.Capacity, l.Delay)
+		if !mask.LinkAlive(li) {
+			sc.linkUtil[li] = 0
+			continue
+		}
+		util := tot / l.Capacity
+		sc.linkUtil[li] = util
+		alive++
+		sumUtil += util
+		if util > maxUtil {
+			maxUtil = util
+		}
+		if sc.loadT[li] > 0 {
+			phi += cost.FortzThorup(tot, l.Capacity)
+		}
+	}
+	phi += droppedT * phiDropPenaltyPerMbps
+
+	// Pass 2: per-pair delays over the delay-class DAGs, Λ and SLA
+	// violations.
+	var lambda float64
+	violations, disconnected := 0, 0
+	wantDetail := e.Detail
+	if wantDetail {
+		res.LoadTotal = append(res.LoadTotal[:0], sc.loadTot...)
+		res.LoadThroughput = append(res.LoadThroughput[:0], sc.loadT...)
+		res.PairDelay = resizeFloats(res.PairDelay, n*n)
+		res.PairMaxUtil = resizeFloats(res.PairMaxUtil, n*n)
+		clear(res.PairDelay)
+		clear(res.PairMaxUtil)
+	}
+	for t := 0; t < n; t++ {
+		if t == skipNode || !mask.NodeAlive(t) {
+			continue
+		}
+		sc.ws.Restore(&sc.states[t])
+		if e.metric == WorstPath {
+			sc.ws.WorstDelays(g, w.Delay, sc.linkDelay, mask, sc.delays)
+		} else {
+			sc.ws.MeanDelays(g, w.Delay, sc.linkDelay, mask, sc.delays)
+		}
+		for s := 0; s < n; s++ {
+			if s == t || s == skipNode || e.demD.At(s, t) == 0 {
+				continue
+			}
+			d := sc.delays[s]
+			if wantDetail {
+				res.PairDelay[s*n+t] = d
+			}
+			if d >= spf.InfDelay {
+				disconnected++
+				violations++
+				lambda += e.params.DropPenalty()
+				continue
+			}
+			if e.params.Violated(d) {
+				violations++
+				lambda += e.params.SLAPenalty(d)
+			}
+		}
+	}
+	if wantDetail {
+		e.fillPairMaxUtil(sc, w, mask, skipNode, res)
+	}
+
+	res.Cost = cost.Cost{Lambda: lambda, Phi: phi}
+	res.PhiNorm = phi / e.phiUncap
+	res.Violations = violations
+	res.Disconnected = disconnected
+	res.MaxUtil = maxUtil
+	if alive > 0 {
+		res.AvgUtil = sumUtil / float64(alive)
+	} else {
+		res.AvgUtil = 0
+	}
+}
+
+// fillPairMaxUtil fills PairMaxUtil with a max-semiring DP: the largest
+// utilization over any link of the pair's ECMP path set.
+func (e *Evaluator) fillPairMaxUtil(sc *scratch, w *WeightSetting, mask *graph.Mask, skipNode int, res *Result) {
+	g := e.g
+	n := g.NumNodes()
+	for t := 0; t < n; t++ {
+		if t == skipNode || !mask.NodeAlive(t) {
+			continue
+		}
+		sc.ws.Restore(&sc.states[t])
+		sc.ws.MaxOverPaths(g, w.Delay, sc.linkUtil, mask, sc.utilDP)
+		for s := 0; s < n; s++ {
+			if s == t || s == skipNode || e.demD.At(s, t) == 0 {
+				continue
+			}
+			if sc.utilDP[s] >= spf.InfDelay {
+				res.PairMaxUtil[s*n+t] = 0
+			} else {
+				res.PairMaxUtil[s*n+t] = sc.utilDP[s]
+			}
+		}
+	}
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

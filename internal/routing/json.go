@@ -1,0 +1,36 @@
+package routing
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type jsonWeights struct {
+	Delay      []int32 `json:"delay"`
+	Throughput []int32 `json:"throughput"`
+}
+
+// MarshalJSON encodes the two weight vectors.
+func (w *WeightSetting) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonWeights{Delay: w.Delay, Throughput: w.Throughput})
+}
+
+// UnmarshalJSON decodes and validates a weight setting: both vectors must
+// have equal length and strictly positive entries.
+func (w *WeightSetting) UnmarshalJSON(data []byte) error {
+	var jw jsonWeights
+	if err := json.Unmarshal(data, &jw); err != nil {
+		return fmt.Errorf("routing: decode weights: %w", err)
+	}
+	if len(jw.Delay) != len(jw.Throughput) {
+		return fmt.Errorf("routing: weight vectors disagree: %d delay vs %d throughput", len(jw.Delay), len(jw.Throughput))
+	}
+	for i := range jw.Delay {
+		if jw.Delay[i] < 1 || jw.Throughput[i] < 1 {
+			return fmt.Errorf("routing: non-positive weight at link %d", i)
+		}
+	}
+	w.Delay = jw.Delay
+	w.Throughput = jw.Throughput
+	return nil
+}

@@ -1,0 +1,43 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// ScaleToAvgUtil rescales both traffic matrices in place so that the
+// average link utilization under min-hop routing (unit weights for both
+// classes) equals target. Loads are linear in demands, so one measurement
+// suffices. It returns the applied factor.
+func ScaleToAvgUtil(g *graph.Graph, demD, demT *traffic.Matrix, target float64) (float64, error) {
+	return scaleToUtil(g, demD, demT, target, false)
+}
+
+// ScaleToMaxUtil rescales both matrices so the maximum link utilization
+// under min-hop routing equals target.
+func ScaleToMaxUtil(g *graph.Graph, demD, demT *traffic.Matrix, target float64) (float64, error) {
+	return scaleToUtil(g, demD, demT, target, true)
+}
+
+func scaleToUtil(g *graph.Graph, demD, demT *traffic.Matrix, target float64, useMax bool) (float64, error) {
+	if target <= 0 {
+		return 0, fmt.Errorf("routing: utilization target %g must be positive", target)
+	}
+	ev := NewEvaluator(g, demD, demT, cost.DefaultParams(), WorstPath)
+	var res Result
+	ev.EvaluateNormal(NewWeightSetting(g.NumLinks()), &res)
+	current := res.AvgUtil
+	if useMax {
+		current = res.MaxUtil
+	}
+	if current == 0 {
+		return 0, fmt.Errorf("routing: cannot scale zero traffic")
+	}
+	factor := target / current
+	demD.Scale(factor)
+	demT.Scale(factor)
+	return factor, nil
+}

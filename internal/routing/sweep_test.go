@@ -1,0 +1,159 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+func TestFailBothTakesDownReverse(t *testing.T) {
+	// Chain 0-1-2 with demand both ways: failing 0->1 directed leaves
+	// 2->0 traffic alive; failing both directions cuts it too.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 500, 5) // links 0,1
+	b.AddEdge(1, 2, 500, 5) // links 2,3
+	g := b.MustBuild()
+	demD := traffic.NewMatrix(3)
+	demD.Set(0, 2, 1)
+	demD.Set(2, 0, 1)
+	e := NewEvaluator(g, demD, traffic.NewMatrix(3), cost.DefaultParams(), WorstPath)
+	w := NewWeightSetting(g.NumLinks())
+
+	var oneDir, bothDir Result
+	e.EvaluateLinkFailure(w, 0, false, &oneDir)
+	e.EvaluateLinkFailure(w, 0, true, &bothDir)
+	if oneDir.Disconnected != 1 {
+		t.Errorf("directed failure disconnected = %d, want 1", oneDir.Disconnected)
+	}
+	if bothDir.Disconnected != 2 {
+		t.Errorf("both-direction failure disconnected = %d, want 2", bothDir.Disconnected)
+	}
+}
+
+func TestSweepBothMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := twoPath(300)
+	demD, demT := traffic.Gravity(4, 200, 0.3, rng)
+	e := defaultEval(g, demD, demT)
+	w := RandomWeightSetting(g.NumLinks(), 20, rng)
+	links := []int{0, 3, 5}
+	results := make([]Result, len(links))
+	e.SweepLinkFailures(w, links, true, results)
+	for i, li := range links {
+		var single Result
+		e.EvaluateLinkFailure(w, li, true, &single)
+		if results[i].Cost != single.Cost {
+			t.Errorf("scenario %d mismatch", li)
+		}
+	}
+}
+
+func TestPhiNormConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := twoPath(400)
+	demD, demT := traffic.Gravity(4, 300, 0.3, rng)
+	e := defaultEval(g, demD, demT)
+	w := RandomWeightSetting(g.NumLinks(), 20, rng)
+	var res Result
+	e.EvaluateNormal(w, &res)
+	if math.Abs(res.PhiNorm-res.Cost.Phi/e.PhiUncap()) > 1e-12 {
+		t.Errorf("PhiNorm %g != Phi/PhiUncap %g", res.PhiNorm, res.Cost.Phi/e.PhiUncap())
+	}
+	if e.PhiUncap() <= 0 {
+		t.Errorf("PhiUncap = %g, want positive", e.PhiUncap())
+	}
+}
+
+func TestUtilizationExcludesDeadLinks(t *testing.T) {
+	g := twoPath(100)
+	demT := singleDemand(4, 0, 3, 90)
+	e := defaultEval(g, traffic.NewMatrix(4), demT)
+	w := NewWeightSetting(g.NumLinks())
+	w.Throughput[2] = 10 // everything on the upper path
+	var normal, failed Result
+	e.EvaluateNormal(w, &normal)
+	// Fail the loaded upper-path link: traffic moves to the lower path;
+	// the dead link must not contribute zero-utilization samples...
+	e.EvaluateLinkFailure(w, 0, false, &failed)
+	if failed.MaxUtil != 0.9 {
+		t.Errorf("post-failure MaxUtil = %g, want 0.9 on detour", failed.MaxUtil)
+	}
+	// 8 links alive normally, 7 after the failure: the average must be
+	// taken over alive links only.
+	wantNormal := (0.9 + 0.9) / 8
+	wantFailed := (0.9 + 0.9) / 7
+	if math.Abs(normal.AvgUtil-wantNormal) > 1e-12 {
+		t.Errorf("normal AvgUtil = %g, want %g", normal.AvgUtil, wantNormal)
+	}
+	if math.Abs(failed.AvgUtil-wantFailed) > 1e-12 {
+		t.Errorf("failed AvgUtil = %g, want %g", failed.AvgUtil, wantFailed)
+	}
+}
+
+func TestQuickLoadsLinearInDemand(t *testing.T) {
+	// Scaling both matrices by k scales utilization by k (below the
+	// delay-model knees everything is linear).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := twoPath(1e6) // huge capacity: stay linear
+		demD, demT := traffic.Gravity(4, 100, 0.3, rng)
+		e1 := defaultEval(g, demD, demT)
+		w := RandomWeightSetting(g.NumLinks(), 20, rand.New(rand.NewSource(seed)))
+		var r1 Result
+		e1.EvaluateNormal(w, &r1)
+
+		k := 1 + rng.Float64()*5
+		e2 := defaultEval(g, demD.Clone().Scale(k), demT.Clone().Scale(k))
+		var r2 Result
+		e2.EvaluateNormal(w, &r2)
+		return math.Abs(r2.MaxUtil-k*r1.MaxUtil) < 1e-9*math.Max(1, k*r1.MaxUtil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeTiesInTopDecile(t *testing.T) {
+	results := make([]Result, 10)
+	for i := range results {
+		results[i].Violations = 5 // all tied
+	}
+	s := Summarize(results)
+	if s.Top10Avg != 5 || s.Avg != 5 {
+		t.Errorf("tied summary: top=%g avg=%g", s.Top10Avg, s.Avg)
+	}
+}
+
+func TestAllLinksAllNodes(t *testing.T) {
+	g := twoPath(100)
+	e := defaultEval(g, traffic.NewMatrix(4), traffic.NewMatrix(4))
+	links := e.AllLinks()
+	nodes := e.AllNodes()
+	if len(links) != 8 || links[0] != 0 || links[7] != 7 {
+		t.Errorf("AllLinks = %v", links)
+	}
+	if len(nodes) != 4 || nodes[3] != 3 {
+		t.Errorf("AllNodes = %v", nodes)
+	}
+}
+
+func TestDetailBuffersReusedAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := twoPath(200)
+	demD, demT := traffic.Gravity(4, 100, 0.3, rng)
+	e := defaultEval(g, demD, demT)
+	e.Detail = true
+	w := NewWeightSetting(g.NumLinks())
+	var res Result
+	e.EvaluateNormal(w, &res)
+	first := &res.PairDelay[0]
+	e.EvaluateNormal(w, &res)
+	if &res.PairDelay[0] != first {
+		t.Error("detail buffers should be reused when capacity allows")
+	}
+}

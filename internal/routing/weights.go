@@ -1,0 +1,81 @@
+// Package routing ties the substrates together into the paper's network
+// model: a dual-topology weight setting (one integer weight per link per
+// traffic class), an evaluator that turns a weight setting into loads,
+// delays and the lexicographic cost K = ⟨Λ, Φ⟩ under normal conditions or
+// any failure scenario, and parallel failure sweeps.
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// WeightSetting holds the two weight vectors of Dual Topology Routing:
+// Delay[l] routes the delay-sensitive class, Throughput[l] the
+// throughput-sensitive class. Weights are integers in [1, wmax].
+type WeightSetting struct {
+	Delay      []int32
+	Throughput []int32
+}
+
+// NewWeightSetting returns an all-ones setting for m links.
+func NewWeightSetting(m int) *WeightSetting {
+	w := &WeightSetting{Delay: make([]int32, m), Throughput: make([]int32, m)}
+	for i := 0; i < m; i++ {
+		w.Delay[i] = 1
+		w.Throughput[i] = 1
+	}
+	return w
+}
+
+// RandomWeightSetting draws every weight uniformly from [1, wmax].
+func RandomWeightSetting(m, wmax int, rng *rand.Rand) *WeightSetting {
+	if wmax < 1 {
+		panic(fmt.Sprintf("routing: wmax must be >= 1, got %d", wmax))
+	}
+	w := &WeightSetting{Delay: make([]int32, m), Throughput: make([]int32, m)}
+	for i := 0; i < m; i++ {
+		w.Delay[i] = int32(1 + rng.Intn(wmax))
+		w.Throughput[i] = int32(1 + rng.Intn(wmax))
+	}
+	return w
+}
+
+// Clone returns a deep copy.
+func (w *WeightSetting) Clone() *WeightSetting {
+	return &WeightSetting{
+		Delay:      append([]int32(nil), w.Delay...),
+		Throughput: append([]int32(nil), w.Throughput...),
+	}
+}
+
+// CopyFrom overwrites w with src in place (no allocation when sizes
+// match).
+func (w *WeightSetting) CopyFrom(src *WeightSetting) {
+	w.Delay = append(w.Delay[:0], src.Delay...)
+	w.Throughput = append(w.Throughput[:0], src.Throughput...)
+}
+
+// Len returns the number of links covered.
+func (w *WeightSetting) Len() int { return len(w.Delay) }
+
+// Set assigns both class weights of link l and returns the previous pair,
+// so a local-search proposal can be reverted cheaply.
+func (w *WeightSetting) Set(l int, delay, throughput int32) (prevD, prevT int32) {
+	prevD, prevT = w.Delay[l], w.Throughput[l]
+	w.Delay[l], w.Throughput[l] = delay, throughput
+	return prevD, prevT
+}
+
+// Equal reports componentwise equality.
+func (w *WeightSetting) Equal(other *WeightSetting) bool {
+	if w.Len() != other.Len() {
+		return false
+	}
+	for i := range w.Delay {
+		if w.Delay[i] != other.Delay[i] || w.Throughput[i] != other.Throughput[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,446 @@
+package spf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// diamond builds the four-node diamond 0->{1,2}->3 with a direct long
+// path 0->3, all bidirectional.
+//
+//	    1
+//	  /   \
+//	0       3
+//	  \   /
+//	    2
+func diamond() *graph.Graph {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 500, 5) // links 0,1
+	b.AddEdge(0, 2, 500, 5) // links 2,3
+	b.AddEdge(1, 3, 500, 5) // links 4,5
+	b.AddEdge(2, 3, 500, 5) // links 6,7
+	return b.MustBuild()
+}
+
+func equalWeights(g *graph.Graph, v int32) []int32 {
+	w := make([]int32, g.NumLinks())
+	for i := range w {
+		w[i] = v
+	}
+	return w
+}
+
+func TestRunDistances(t *testing.T) {
+	g := diamond()
+	ws := NewWorkspace(g)
+	ws.Run(g, equalWeights(g, 1), 3, nil)
+	want := map[int]int64{0: 2, 1: 1, 2: 1, 3: 0}
+	for v, d := range want {
+		if ws.Dist(v) != d {
+			t.Errorf("dist[%d] = %d, want %d", v, ws.Dist(v), d)
+		}
+	}
+}
+
+func TestRunRespectsWeights(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	// Make the upper path (via node 1) expensive.
+	w[0], w[4] = 10, 10
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, nil)
+	if ws.Dist(0) != 2 {
+		t.Errorf("dist[0] = %d, want 2 via lower path", ws.Dist(0))
+	}
+	if ws.OnDAG(g, w, 0, nil) {
+		t.Error("expensive link 0->1 must not be on the DAG")
+	}
+	if !ws.OnDAG(g, w, 2, nil) {
+		t.Error("link 0->2 must be on the DAG")
+	}
+}
+
+func TestRunWithMask(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	m := graph.NewMask(g)
+	m.FailLink(2) // 0->2 down
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, m)
+	if ws.Dist(0) != 2 {
+		t.Errorf("dist[0] = %d, want 2 via node 1", ws.Dist(0))
+	}
+	if ws.OnDAG(g, w, 2, m) {
+		t.Error("dead link cannot be on DAG")
+	}
+	// Cut both paths: node 0 becomes disconnected from 3.
+	m.FailLink(0)
+	ws.Run(g, w, 3, m)
+	if ws.Reached(0) {
+		t.Error("node 0 should be unreachable with both out-links down")
+	}
+	if !ws.Reached(1) {
+		t.Error("node 1 must still reach 3")
+	}
+}
+
+func TestDeadDestination(t *testing.T) {
+	g := diamond()
+	m := graph.NewMask(g)
+	m.FailNode(3)
+	ws := NewWorkspace(g)
+	ws.Run(g, equalWeights(g, 1), 3, m)
+	for v := 0; v < 4; v++ {
+		if ws.Reached(v) {
+			t.Errorf("node %d reached a dead destination", v)
+		}
+	}
+}
+
+func TestECMPLoadSplit(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, nil)
+	loads := make([]float64, g.NumLinks())
+	dem := []float64{10, 0, 0, 0}
+	dropped := ws.AccumulateLoads(g, w, dem, nil, loads)
+	if dropped != 0 {
+		t.Fatalf("dropped = %g, want 0", dropped)
+	}
+	// Two equal-cost paths: each carries 5.
+	for _, li := range []int{0, 2, 4, 6} {
+		if math.Abs(loads[li]-5) > 1e-12 {
+			t.Errorf("load[%d] = %g, want 5", li, loads[li])
+		}
+	}
+	// Reverse-direction links carry nothing.
+	for _, li := range []int{1, 3, 5, 7} {
+		if loads[li] != 0 {
+			t.Errorf("load[%d] = %g, want 0", li, loads[li])
+		}
+	}
+}
+
+func TestLoadsAggregateTransitTraffic(t *testing.T) {
+	// Chain 0-1-2: demand from 0 and from 1 both cross link 1->2.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 500, 1) // links 0,1
+	b.AddEdge(1, 2, 500, 1) // links 2,3
+	g := b.MustBuild()
+	w := equalWeights(g, 1)
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 2, nil)
+	loads := make([]float64, g.NumLinks())
+	ws.AccumulateLoads(g, w, []float64{7, 3, 0}, nil, loads)
+	if loads[0] != 7 {
+		t.Errorf("load[0->1] = %g, want 7", loads[0])
+	}
+	if loads[2] != 10 {
+		t.Errorf("load[1->2] = %g, want 10", loads[2])
+	}
+}
+
+func TestDroppedDemand(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	m := graph.NewMask(g)
+	m.FailLink(0)
+	m.FailLink(2) // node 0 cut off from 3
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, m)
+	loads := make([]float64, g.NumLinks())
+	dropped := ws.AccumulateLoads(g, w, []float64{4, 1, 1, 0}, m, loads)
+	if dropped != 4 {
+		t.Errorf("dropped = %g, want 4", dropped)
+	}
+}
+
+func TestWorstAndMeanDelays(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, nil)
+	linkDelay := make([]float64, g.NumLinks())
+	for i := range linkDelay {
+		linkDelay[i] = 1
+	}
+	linkDelay[4] = 9 // 1->3 slow: upper path total 10, lower total 2
+
+	worst := make([]float64, 4)
+	ws.WorstDelays(g, w, linkDelay, nil, worst)
+	if worst[0] != 10 {
+		t.Errorf("worst[0] = %g, want 10", worst[0])
+	}
+	if worst[3] != 0 {
+		t.Errorf("worst[dest] = %g, want 0", worst[3])
+	}
+
+	mean := make([]float64, 4)
+	ws.MeanDelays(g, w, linkDelay, nil, mean)
+	// Upper: 1+9=10, lower: 1+1=2, even split -> 6.
+	if math.Abs(mean[0]-6) > 1e-12 {
+		t.Errorf("mean[0] = %g, want 6", mean[0])
+	}
+}
+
+func TestDelaysUnreachable(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	m := graph.NewMask(g)
+	m.FailLink(0)
+	m.FailLink(2)
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, m)
+	out := make([]float64, 4)
+	ws.WorstDelays(g, w, make([]float64, g.NumLinks()), m, out)
+	if out[0] < InfDelay {
+		t.Errorf("unreachable source should have InfDelay, got %g", out[0])
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	w[0] = 5 // push traffic to lower path
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, nil)
+	path := ws.PathTo(g, w, 0, nil)
+	if len(path) != 2 {
+		t.Fatalf("path length = %d, want 2", len(path))
+	}
+	if g.Link(path[0]).From != 0 || g.Link(path[len(path)-1]).To != 3 {
+		t.Errorf("path endpoints wrong: %v", path)
+	}
+	var sum int64
+	for _, li := range path {
+		sum += int64(w[li])
+	}
+	if sum != ws.Dist(0) {
+		t.Errorf("path weight %d != dist %d", sum, ws.Dist(0))
+	}
+}
+
+func TestHopCounts(t *testing.T) {
+	g := diamond()
+	ws := NewWorkspace(g)
+	out := make([]float64, 4)
+	ws.HopCounts(g, 3, nil, UnitWeights(g), out)
+	if out[0] != 2 || out[1] != 1 || out[3] != 0 {
+		t.Errorf("hop counts = %v", out)
+	}
+}
+
+// randGraph builds a connected random graph with random weights for
+// property tests.
+func randGraph(r *rand.Rand) (*graph.Graph, []int32) {
+	n := 4 + r.Intn(12)
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, r.Intn(i), 500, 1+r.Float64()*10)
+	}
+	extra := r.Intn(2 * n)
+	for k := 0; k < extra; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			b.AddEdge(u, v, 500, 1+r.Float64()*10)
+		}
+	}
+	g := b.MustBuild()
+	w := make([]int32, g.NumLinks())
+	for i := range w {
+		w[i] = int32(1 + r.Intn(20))
+	}
+	return g, w
+}
+
+// bellmanFord is the oracle for Dijkstra correctness.
+func bellmanFord(g *graph.Graph, w []int32, dest int) []int64 {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[dest] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for li, l := range g.Links() {
+			if dist[l.To] < Inf && dist[l.To]+int64(w[li]) < dist[l.From] {
+				dist[l.From] = dist[l.To] + int64(w[li])
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestQuickDijkstraMatchesBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, w := randGraph(r)
+		dest := r.Intn(g.NumNodes())
+		ws := NewWorkspace(g)
+		ws.Run(g, w, dest, nil)
+		oracle := bellmanFord(g, w, dest)
+		for v := 0; v < g.NumNodes(); v++ {
+			if ws.Dist(v) != oracle[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFlowConservation(t *testing.T) {
+	// Node balance: for every transit node, inflow + own demand = outflow.
+	// Globally: flow into the destination equals total routed demand.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, w := randGraph(r)
+		n := g.NumNodes()
+		dest := r.Intn(n)
+		dem := make([]float64, n)
+		var total float64
+		for i := range dem {
+			if i != dest {
+				dem[i] = r.Float64() * 10
+				total += dem[i]
+			}
+		}
+		ws := NewWorkspace(g)
+		ws.Run(g, w, dest, nil)
+		loads := make([]float64, g.NumLinks())
+		dropped := ws.AccumulateLoads(g, w, dem, nil, loads)
+		if dropped != 0 {
+			return false // connected by construction
+		}
+		const eps = 1e-9
+		for v := 0; v < n; v++ {
+			var in, out float64
+			for _, li := range g.InLinks(v) {
+				in += loads[li]
+			}
+			for _, li := range g.OutLinks(v) {
+				out += loads[li]
+			}
+			if v == dest {
+				if math.Abs(in-total) > eps*math.Max(1, total) {
+					return false
+				}
+				if out != 0 {
+					return false
+				}
+			} else if math.Abs(in+dem[v]-out) > eps*math.Max(1, total) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLoadsOnlyOnDAGLinks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, w := randGraph(r)
+		dest := r.Intn(g.NumNodes())
+		dem := make([]float64, g.NumNodes())
+		for i := range dem {
+			if i != dest {
+				dem[i] = 1
+			}
+		}
+		ws := NewWorkspace(g)
+		ws.Run(g, w, dest, nil)
+		loads := make([]float64, g.NumLinks())
+		ws.AccumulateLoads(g, w, dem, nil, loads)
+		for li := range loads {
+			if loads[li] > 0 && !ws.OnDAG(g, w, li, nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWorstDelayBoundsMean(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, w := randGraph(r)
+		dest := r.Intn(g.NumNodes())
+		linkDelay := make([]float64, g.NumLinks())
+		for i := range linkDelay {
+			linkDelay[i] = r.Float64() * 20
+		}
+		ws := NewWorkspace(g)
+		ws.Run(g, w, dest, nil)
+		worst := make([]float64, g.NumNodes())
+		mean := make([]float64, g.NumNodes())
+		ws.WorstDelays(g, w, linkDelay, nil, worst)
+		ws.MeanDelays(g, w, linkDelay, nil, mean)
+		for v := range worst {
+			if mean[v] > worst[v]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkspaceReuseAcrossDestinations(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, nil)
+	d3 := ws.Dist(0)
+	ws.Run(g, w, 0, nil)
+	if ws.Dist(3) != d3 {
+		t.Errorf("symmetric graph: dist should match after destination swap")
+	}
+	if ws.Dist(0) != 0 {
+		t.Errorf("dist[dest] = %d, want 0", ws.Dist(0))
+	}
+}
+
+func BenchmarkDijkstra30Nodes(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	bld := graph.NewBuilder(30)
+	for i := 1; i < 30; i++ {
+		bld.AddEdge(i, r.Intn(i), 500, 5)
+	}
+	for k := 0; k < 60; k++ {
+		u, v := r.Intn(30), r.Intn(30)
+		if u != v {
+			bld.AddEdge(u, v, 500, 5)
+		}
+	}
+	g := bld.MustBuild()
+	w := make([]int32, g.NumLinks())
+	for i := range w {
+		w[i] = int32(1 + r.Intn(20))
+	}
+	ws := NewWorkspace(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Run(g, w, i%30, nil)
+	}
+}

@@ -1,0 +1,173 @@
+package spf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestSaveRestore(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, nil)
+	var st State
+	ws.Save(&st)
+	wantDist := append([]int64(nil), ws.dist...)
+
+	// Overwrite with a different destination, then restore.
+	ws.Run(g, w, 0, nil)
+	ws.Restore(&st)
+	for v := 0; v < g.NumNodes(); v++ {
+		if ws.Dist(v) != wantDist[v] {
+			t.Errorf("dist[%d] = %d after restore, want %d", v, ws.Dist(v), wantDist[v])
+		}
+	}
+	// DAG queries keep working after restore.
+	if !ws.OnDAG(g, w, 4, nil) {
+		t.Error("link 1->3 should be on restored DAG")
+	}
+	// Delay DP works off the restored state.
+	linkDelay := make([]float64, g.NumLinks())
+	for i := range linkDelay {
+		linkDelay[i] = 1
+	}
+	out := make([]float64, g.NumNodes())
+	ws.WorstDelays(g, w, linkDelay, nil, out)
+	if out[0] != 2 {
+		t.Errorf("worst delay after restore = %g, want 2", out[0])
+	}
+}
+
+func TestSaveReusesBuffers(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, nil)
+	var st State
+	ws.Save(&st)
+	first := &st.Dist[0]
+	ws.Run(g, w, 0, nil)
+	ws.Save(&st)
+	if &st.Dist[0] != first {
+		t.Error("Save should reuse the snapshot's backing array")
+	}
+}
+
+func TestMaxOverPaths(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, nil)
+	val := make([]float64, g.NumLinks())
+	val[0] = 0.2 // 0->1
+	val[4] = 0.9 // 1->3
+	val[2] = 0.5 // 0->2
+	val[6] = 0.1 // 2->3
+	out := make([]float64, g.NumNodes())
+	ws.MaxOverPaths(g, w, val, nil, out)
+	// Both ECMP paths from 0: upper bottleneck 0.9, lower 0.5; worst 0.9.
+	if math.Abs(out[0]-0.9) > 1e-12 {
+		t.Errorf("maxOverPaths[0] = %g, want 0.9", out[0])
+	}
+	if out[3] != 0 {
+		t.Errorf("destination value = %g, want 0", out[3])
+	}
+	if math.Abs(out[2]-0.1) > 1e-12 {
+		t.Errorf("maxOverPaths[2] = %g, want 0.1", out[2])
+	}
+}
+
+func TestMaxOverPathsUnreachable(t *testing.T) {
+	g := diamond()
+	w := equalWeights(g, 1)
+	m := graph.NewMask(g)
+	m.FailLink(0)
+	m.FailLink(2)
+	ws := NewWorkspace(g)
+	ws.Run(g, w, 3, m)
+	out := make([]float64, g.NumNodes())
+	ws.MaxOverPaths(g, w, make([]float64, g.NumLinks()), m, out)
+	if out[0] < InfDelay {
+		t.Errorf("unreachable source = %g, want InfDelay", out[0])
+	}
+}
+
+func TestQuickMaxOverPathsBoundsLinkValues(t *testing.T) {
+	// The bottleneck value of any reachable source lies within the range
+	// of link values on its DAG.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, w := randGraph(r)
+		dest := r.Intn(g.NumNodes())
+		val := make([]float64, g.NumLinks())
+		var maxVal float64
+		for i := range val {
+			val[i] = r.Float64()
+			if val[i] > maxVal {
+				maxVal = val[i]
+			}
+		}
+		ws := NewWorkspace(g)
+		ws.Run(g, w, dest, nil)
+		out := make([]float64, g.NumNodes())
+		ws.MaxOverPaths(g, w, val, nil, out)
+		for v := range out {
+			if v == dest {
+				continue
+			}
+			if out[v] >= InfDelay {
+				continue
+			}
+			if out[v] < 0 || out[v] > maxVal+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPathToMatchesDist(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, w := randGraph(r)
+		dest := r.Intn(g.NumNodes())
+		ws := NewWorkspace(g)
+		ws.Run(g, w, dest, nil)
+		for src := 0; src < g.NumNodes(); src++ {
+			path := ws.PathTo(g, w, src, nil)
+			if src == dest {
+				if len(path) != 0 {
+					return false
+				}
+				continue
+			}
+			if path == nil {
+				return false // connected by construction
+			}
+			var sum int64
+			at := src
+			for _, li := range path {
+				l := g.Link(li)
+				if l.From != at {
+					return false // not contiguous
+				}
+				at = l.To
+				sum += int64(w[li])
+			}
+			if at != dest || sum != ws.Dist(src) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,473 @@
+// Package topogen generates the network topologies of the paper's
+// evaluation (Section V-A1): random graphs of a given size (RandTopo),
+// nearest-neighbour geometric graphs (NearTopo), preferential-attachment
+// power-law graphs (PLTopo), and a 16-node / 70-link North American ISP
+// backbone with geographically derived propagation delays.
+//
+// Synthetic topologies place nodes uniformly in the unit square; link
+// propagation delays are the Euclidean distances scaled so that the
+// network's propagation diameter (the largest over SD pairs of the
+// smallest achievable end-to-end propagation delay) matches a target,
+// by default the 25 ms SLA bound, as in the paper.
+package topogen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Kind selects a topology family.
+type Kind int
+
+const (
+	// RandKind is a connected uniform random graph ("RandTopo").
+	RandKind Kind = iota
+	// NearKind connects nodes to their closest neighbours ("NearTopo").
+	NearKind
+	// PLKind is a Barabási–Albert power-law graph ("PLTopo").
+	PLKind
+	// ISPKind is the fixed North American backbone ("ISP").
+	ISPKind
+)
+
+// String returns the paper's name for the topology family.
+func (k Kind) String() string {
+	switch k {
+	case RandKind:
+		return "RandTopo"
+	case NearKind:
+		return "NearTopo"
+	case PLKind:
+		return "PLTopo"
+	case ISPKind:
+		return "ISP"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes a topology to generate.
+type Spec struct {
+	Kind Kind
+	// Nodes is the node count (ignored for ISPKind).
+	Nodes int
+	// DirectedLinks is the target number of directed links; must be even
+	// since every physical edge contributes both directions (ignored for
+	// ISPKind and PLKind — the latter derives its count from EdgesPerNode).
+	DirectedLinks int
+	// EdgesPerNode is the attachment count m of the Barabási–Albert
+	// process (PLKind only). The resulting graph has m·(Nodes−m) physical
+	// edges; m=3 with 30 nodes yields the paper's 162 directed links.
+	EdgesPerNode int
+	// CapacityMbps is the per-link capacity; 0 means the paper's 500.
+	CapacityMbps float64
+	// DiameterMs is the target propagation diameter; 0 means 25 ms.
+	// Negative disables delay scaling (raw distances are kept).
+	DiameterMs float64
+}
+
+// Generate builds the topology described by spec using rng for all
+// randomness. The result is always strongly connected.
+func Generate(spec Spec, rng *rand.Rand) (*graph.Graph, error) {
+	capacity := spec.CapacityMbps
+	if capacity == 0 {
+		capacity = 500
+	}
+	diameter := spec.DiameterMs
+	if diameter == 0 {
+		diameter = 25
+	}
+	switch spec.Kind {
+	case ISPKind:
+		return ispBackbone(capacity, diameter)
+	case RandKind:
+		return randTopo(spec.Nodes, spec.DirectedLinks, capacity, diameter, rng)
+	case NearKind:
+		return nearTopo(spec.Nodes, spec.DirectedLinks, capacity, diameter, rng)
+	case PLKind:
+		return plTopo(spec.Nodes, spec.EdgesPerNode, capacity, diameter, rng)
+	default:
+		return nil, fmt.Errorf("topogen: unknown kind %v", spec.Kind)
+	}
+}
+
+// MustGenerate is Generate that panics on error, for use with specs known
+// valid.
+func MustGenerate(spec Spec, rng *rand.Rand) *graph.Graph {
+	g, err := Generate(spec, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func checkCounts(n, directed int) (edges int, err error) {
+	if n < 3 {
+		return 0, fmt.Errorf("topogen: need at least 3 nodes, got %d", n)
+	}
+	if directed%2 != 0 {
+		return 0, fmt.Errorf("topogen: directed link count %d must be even", directed)
+	}
+	edges = directed / 2
+	if edges < n-1 {
+		return 0, fmt.Errorf("topogen: %d edges cannot connect %d nodes", edges, n)
+	}
+	if max := n * (n - 1) / 2; edges > max {
+		return 0, fmt.Errorf("topogen: %d edges exceed the simple-graph maximum %d", edges, max)
+	}
+	return edges, nil
+}
+
+func randomCoords(n int, rng *rand.Rand) []graph.Coord {
+	coords := make([]graph.Coord, n)
+	for i := range coords {
+		coords[i] = graph.Coord{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return coords
+}
+
+func dist(a, b graph.Coord) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// randTopo builds a connected uniform random graph. When the edge budget
+// allows (edges >= n), a random ring seeds the construction so that
+// every node has degree at least 2 — no single link failure can then
+// sever a node, matching the implicit well-connectedness of the paper's
+// evaluation networks. With a tree-only budget (edges == n-1) a random
+// recursive tree is used instead. Remaining edges are uniformly random.
+func randTopo(n, directed int, capacity, diameter float64, rng *rand.Rand) (*graph.Graph, error) {
+	edges, err := checkCounts(n, directed)
+	if err != nil {
+		return nil, err
+	}
+	coords := randomCoords(n, rng)
+	have := make(map[[2]int]bool, edges)
+	addPair := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		have[[2]int{u, v}] = true
+	}
+	hasPair := func(u, v int) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return have[[2]int{u, v}]
+	}
+	if edges >= n && n >= 3 {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			addPair(perm[i], perm[(i+1)%n])
+		}
+	} else {
+		for i := 1; i < n; i++ {
+			addPair(i, rng.Intn(i))
+		}
+	}
+	for len(have) < edges {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !hasPair(u, v) {
+			addPair(u, v)
+		}
+	}
+	return assemble(n, coords, have, capacity, diameter)
+}
+
+// nearTopo connects nodes to their closest neighbours: the Euclidean
+// minimum spanning tree guarantees connectivity, then the globally
+// shortest absent pairs are added until the edge budget is filled. The
+// result has the paper's NearTopo character: dense local meshes and a
+// narrow long-haul core.
+func nearTopo(n, directed int, capacity, diameter float64, rng *rand.Rand) (*graph.Graph, error) {
+	edges, err := checkCounts(n, directed)
+	if err != nil {
+		return nil, err
+	}
+	coords := randomCoords(n, rng)
+	have := make(map[[2]int]bool, edges)
+
+	// Prim's algorithm for the Euclidean MST.
+	inTree := make([]bool, n)
+	bestDist := make([]float64, n)
+	bestFrom := make([]int, n)
+	for i := range bestDist {
+		bestDist[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for v := 1; v < n; v++ {
+		bestDist[v] = dist(coords[0], coords[v])
+		bestFrom[v] = 0
+	}
+	for added := 1; added < n; added++ {
+		pick, pickDist := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !inTree[v] && bestDist[v] < pickDist {
+				pick, pickDist = v, bestDist[v]
+			}
+		}
+		inTree[pick] = true
+		u, v := pick, bestFrom[pick]
+		if u > v {
+			u, v = v, u
+		}
+		have[[2]int{u, v}] = true
+		for w := 0; w < n; w++ {
+			if !inTree[w] {
+				if d := dist(coords[pick], coords[w]); d < bestDist[w] {
+					bestDist[w], bestFrom[w] = d, pick
+				}
+			}
+		}
+	}
+
+	// Ensure every node reaches its two nearest neighbours (budget
+	// permitting) so no MST leaf is left hanging on a single bridge
+	// link, then fill the remaining budget with the globally shortest
+	// absent pairs.
+	type pair struct {
+		u, v int
+		d    float64
+	}
+	var nnEdges []pair
+	for u := 0; u < n; u++ {
+		type cand struct {
+			v int
+			d float64
+		}
+		nearest := make([]cand, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != u {
+				nearest = append(nearest, cand{v, dist(coords[u], coords[v])})
+			}
+		}
+		sort.Slice(nearest, func(i, j int) bool { return nearest[i].d < nearest[j].d })
+		for k := 0; k < 2 && k < len(nearest); k++ {
+			a, b := u, nearest[k].v
+			if a > b {
+				a, b = b, a
+			}
+			if !have[[2]int{a, b}] {
+				nnEdges = append(nnEdges, pair{a, b, nearest[k].d})
+			}
+		}
+	}
+	sort.Slice(nnEdges, func(i, j int) bool { return nnEdges[i].d < nnEdges[j].d })
+	for _, p := range nnEdges {
+		if len(have) >= edges {
+			break
+		}
+		have[[2]int{p.u, p.v}] = true
+	}
+
+	rest := make([]pair, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !have[[2]int{u, v}] {
+				rest = append(rest, pair{u, v, dist(coords[u], coords[v])})
+			}
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].d < rest[j].d })
+	for _, p := range rest {
+		if len(have) >= edges {
+			break
+		}
+		have[[2]int{p.u, p.v}] = true
+	}
+	return assemble(n, coords, have, capacity, diameter)
+}
+
+// plTopo runs the Barabási–Albert preferential-attachment process: m
+// seed nodes, then each new node attaches to m distinct existing nodes
+// with probability proportional to their degree (uniformly while all
+// degrees are zero).
+func plTopo(n, m int, capacity, diameter float64, rng *rand.Rand) (*graph.Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("topogen: EdgesPerNode must be >= 1, got %d", m)
+	}
+	if n <= m {
+		return nil, fmt.Errorf("topogen: need more than %d nodes for attachment count %d", m, m)
+	}
+	coords := randomCoords(n, rng)
+	have := make(map[[2]int]bool)
+	return plAttach(n, m, coords, have, capacity, diameter, rng)
+}
+
+func plAttach(n, m int, coords []graph.Coord, have map[[2]int]bool, capacity, diameter float64, rng *rand.Rand) (*graph.Graph, error) {
+	degree := make([]int, n)
+	totalDegree := 0
+	addPair := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		if !have[[2]int{u, v}] {
+			have[[2]int{u, v}] = true
+			degree[u]++
+			degree[v]++
+			totalDegree += 2
+		}
+	}
+	chosen := make([]bool, n)
+	for newNode := m; newNode < n; newNode++ {
+		for i := 0; i < newNode; i++ {
+			chosen[i] = false
+		}
+		for picked := 0; picked < m; picked++ {
+			target := -1
+			if totalDegree == 0 {
+				// Uniform among unchosen existing nodes.
+				for {
+					c := rng.Intn(newNode)
+					if !chosen[c] {
+						target = c
+						break
+					}
+				}
+			} else {
+				// Roulette over degree, retrying on already-chosen nodes.
+				for target < 0 {
+					r := rng.Intn(totalDegree)
+					acc := 0
+					for v := 0; v < newNode; v++ {
+						acc += degree[v]
+						if r < acc {
+							if !chosen[v] {
+								target = v
+							}
+							break
+						}
+					}
+					if target < 0 && allChosenWithDegree(degree, chosen, newNode) {
+						// Every positive-degree candidate is taken; fall
+						// back to uniform among the rest.
+						for {
+							c := rng.Intn(newNode)
+							if !chosen[c] {
+								target = c
+								break
+							}
+						}
+					}
+				}
+			}
+			chosen[target] = true
+			addPair(newNode, target)
+		}
+	}
+	return assemble(n, coords, have, capacity, diameter)
+}
+
+func allChosenWithDegree(degree []int, chosen []bool, limit int) bool {
+	for v := 0; v < limit; v++ {
+		if degree[v] > 0 && !chosen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// assemble turns an undirected edge set into a bidirectional graph with
+// distance-derived, diameter-scaled propagation delays.
+func assemble(n int, coords []graph.Coord, have map[[2]int]bool, capacity, diameter float64) (*graph.Graph, error) {
+	type edge struct {
+		u, v int
+		d    float64
+	}
+	edges := make([]edge, 0, len(have))
+	for p := range have {
+		edges = append(edges, edge{p[0], p[1], dist(coords[p[0]], coords[p[1]])})
+	}
+	// Map order is random; sort for deterministic link indices per seed.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+
+	scale := 1.0
+	if diameter > 0 {
+		raw := propDiameter(n, edges, func(e edge) (int, int, float64) { return e.u, e.v, e.d })
+		if raw > 0 {
+			scale = diameter / raw
+		}
+	}
+	b := graph.NewBuilder(n)
+	for i, c := range coords {
+		b.SetNodeCoord(i, c)
+	}
+	for _, e := range edges {
+		d := e.d * scale
+		if d <= 0 {
+			d = 1e-3 // coincident points: keep delays positive
+		}
+		b.AddEdge(e.u, e.v, capacity, d)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if !g.IsStronglyConnected(nil) {
+		return nil, fmt.Errorf("topogen: generated graph is not connected")
+	}
+	return g, nil
+}
+
+// propDiameter computes the largest over all pairs of the shortest
+// propagation delay, with a dense float Dijkstra (the graphs here are
+// small and this runs once per generation).
+func propDiameter[E any](n int, edges []E, get func(E) (int, int, float64)) float64 {
+	adj := make([][]struct {
+		to int
+		d  float64
+	}, n)
+	for _, e := range edges {
+		u, v, d := get(e)
+		adj[u] = append(adj[u], struct {
+			to int
+			d  float64
+		}{v, d})
+		adj[v] = append(adj[v], struct {
+			to int
+			d  float64
+		}{u, d})
+	}
+	var diameter float64
+	distTo := make([]float64, n)
+	done := make([]bool, n)
+	for src := 0; src < n; src++ {
+		for i := range distTo {
+			distTo[i] = math.Inf(1)
+			done[i] = false
+		}
+		distTo[src] = 0
+		for {
+			u, best := -1, math.Inf(1)
+			for v := 0; v < n; v++ {
+				if !done[v] && distTo[v] < best {
+					u, best = v, distTo[v]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			done[u] = true
+			for _, e := range adj[u] {
+				if nd := best + e.d; nd < distTo[e.to] {
+					distTo[e.to] = nd
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !math.IsInf(distTo[v], 1) && distTo[v] > diameter {
+				diameter = distTo[v]
+			}
+		}
+	}
+	return diameter
+}

@@ -1,0 +1,258 @@
+package topogen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestRandTopoPaperSize(t *testing.T) {
+	g := MustGenerate(Spec{Kind: RandKind, Nodes: 30, DirectedLinks: 180}, rand.New(rand.NewSource(1)))
+	if g.NumNodes() != 30 || g.NumLinks() != 180 {
+		t.Fatalf("got [%d,%d], want [30,180]", g.NumNodes(), g.NumLinks())
+	}
+	if !g.IsStronglyConnected(nil) {
+		t.Error("RandTopo must be connected")
+	}
+}
+
+func TestNearTopoPaperSize(t *testing.T) {
+	g := MustGenerate(Spec{Kind: NearKind, Nodes: 30, DirectedLinks: 180}, rand.New(rand.NewSource(1)))
+	if g.NumNodes() != 30 || g.NumLinks() != 180 {
+		t.Fatalf("got [%d,%d], want [30,180]", g.NumNodes(), g.NumLinks())
+	}
+	if !g.IsStronglyConnected(nil) {
+		t.Error("NearTopo must be connected")
+	}
+}
+
+func TestPLTopoPaperSize(t *testing.T) {
+	g := MustGenerate(Spec{Kind: PLKind, Nodes: 30, EdgesPerNode: 3}, rand.New(rand.NewSource(1)))
+	if g.NumNodes() != 30 || g.NumLinks() != 162 {
+		t.Fatalf("got [%d,%d], want [30,162]", g.NumNodes(), g.NumLinks())
+	}
+	if !g.IsStronglyConnected(nil) {
+		t.Error("PLTopo must be connected")
+	}
+}
+
+func TestISPPaperSize(t *testing.T) {
+	g := MustGenerate(Spec{Kind: ISPKind}, nil)
+	if g.NumNodes() != 16 || g.NumLinks() != 70 {
+		t.Fatalf("got [%d,%d], want [16,70]", g.NumNodes(), g.NumLinks())
+	}
+	if !g.IsStronglyConnected(nil) {
+		t.Error("ISP backbone must be connected")
+	}
+	if g.NodeName(0) != "Seattle" {
+		t.Errorf("node 0 = %q, want Seattle", g.NodeName(0))
+	}
+}
+
+func TestISPDelayRange(t *testing.T) {
+	// The paper: "link propagation delays ranged roughly from 5 ms to
+	// 20 ms". Allow a little slack around "roughly".
+	g := MustGenerate(Spec{Kind: ISPKind}, nil)
+	var minD, maxD = math.Inf(1), 0.0
+	for _, l := range g.Links() {
+		minD = math.Min(minD, l.Delay)
+		maxD = math.Max(maxD, l.Delay)
+	}
+	if minD < 0.3 || maxD > 25 {
+		t.Errorf("delay range [%.2f, %.2f] ms implausible for a US backbone", minD, maxD)
+	}
+	if maxD < 8 {
+		t.Errorf("max link delay %.2f ms too small for a continental link", maxD)
+	}
+}
+
+func TestSyntheticDiameterScaling(t *testing.T) {
+	for _, kind := range []Kind{RandKind, NearKind} {
+		g := MustGenerate(Spec{Kind: kind, Nodes: 20, DirectedLinks: 100, DiameterMs: 25}, rand.New(rand.NewSource(3)))
+		d := measurePropDiameter(g)
+		if math.Abs(d-25) > 1e-6 {
+			t.Errorf("%v: prop diameter = %g, want 25", kind, d)
+		}
+	}
+}
+
+// measurePropDiameter runs dense float Dijkstra on the built graph.
+func measurePropDiameter(g *graph.Graph) float64 {
+	n := g.NumNodes()
+	var diameter float64
+	for src := 0; src < n; src++ {
+		distTo := make([]float64, n)
+		done := make([]bool, n)
+		for i := range distTo {
+			distTo[i] = math.Inf(1)
+		}
+		distTo[src] = 0
+		for {
+			u, best := -1, math.Inf(1)
+			for v := 0; v < n; v++ {
+				if !done[v] && distTo[v] < best {
+					u, best = v, distTo[v]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			done[u] = true
+			for _, li := range g.OutLinks(u) {
+				l := g.Link(int(li))
+				if nd := best + l.Delay; nd < distTo[l.To] {
+					distTo[l.To] = nd
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !math.IsInf(distTo[v], 1) && distTo[v] > diameter {
+				diameter = distTo[v]
+			}
+		}
+	}
+	return diameter
+}
+
+func TestCapacityDefault(t *testing.T) {
+	g := MustGenerate(Spec{Kind: RandKind, Nodes: 10, DirectedLinks: 40}, rand.New(rand.NewSource(2)))
+	for _, l := range g.Links() {
+		if l.Capacity != 500 {
+			t.Fatalf("capacity = %g, want paper default 500", l.Capacity)
+		}
+	}
+	g2 := MustGenerate(Spec{Kind: RandKind, Nodes: 10, DirectedLinks: 40, CapacityMbps: 100}, rand.New(rand.NewSource(2)))
+	for _, l := range g2.Links() {
+		if l.Capacity != 100 {
+			t.Fatalf("capacity = %g, want 100", l.Capacity)
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	cases := []Spec{
+		{Kind: RandKind, Nodes: 2, DirectedLinks: 2},   // too few nodes
+		{Kind: RandKind, Nodes: 10, DirectedLinks: 31}, // odd
+		{Kind: RandKind, Nodes: 10, DirectedLinks: 10}, // under tree size
+		{Kind: RandKind, Nodes: 5, DirectedLinks: 30},  // over complete graph
+		{Kind: PLKind, Nodes: 3, EdgesPerNode: 3},      // n <= m
+		{Kind: PLKind, Nodes: 10, EdgesPerNode: 0},     // m < 1
+		{Kind: Kind(99), Nodes: 10, DirectedLinks: 40}, // unknown kind
+	}
+	for _, spec := range cases {
+		if _, err := Generate(spec, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestNearTopoIsMoreLocalThanRand(t *testing.T) {
+	// The defining property of NearTopo: its links are short. Compare the
+	// mean link length (propagation delay before scaling differences) in
+	// units of the graph's own diameter.
+	rng := rand.New(rand.NewSource(5))
+	near := MustGenerate(Spec{Kind: NearKind, Nodes: 30, DirectedLinks: 180, DiameterMs: 25}, rng)
+	randg := MustGenerate(Spec{Kind: RandKind, Nodes: 30, DirectedLinks: 180, DiameterMs: 25}, rng)
+	mean := func(g *graph.Graph) float64 {
+		var sum float64
+		for _, l := range g.Links() {
+			sum += l.Delay
+		}
+		return sum / float64(g.NumLinks())
+	}
+	if mean(near) >= mean(randg) {
+		t.Errorf("NearTopo mean link delay %g should be below RandTopo %g", mean(near), mean(randg))
+	}
+}
+
+func TestPLTopoDegreeSkew(t *testing.T) {
+	// Preferential attachment must produce hubs: the max degree should
+	// clearly exceed the mean.
+	g := MustGenerate(Spec{Kind: PLKind, Nodes: 60, EdgesPerNode: 3}, rand.New(rand.NewSource(7)))
+	maxDeg := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.OutDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < 2.5*g.MeanOutDegree() {
+		t.Errorf("max degree %d vs mean %.1f: no hub structure", maxDeg, g.MeanOutDegree())
+	}
+}
+
+func TestQuickGeneratorsConnectedAndSized(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(25)
+		maxEdges := n * (n - 1) / 2
+		edges := n - 1 + r.Intn(maxEdges-(n-1)+1)
+		for _, kind := range []Kind{RandKind, NearKind} {
+			g, err := Generate(Spec{Kind: kind, Nodes: n, DirectedLinks: 2 * edges}, r)
+			if err != nil || g.NumLinks() != 2*edges || !g.IsStronglyConnected(nil) {
+				return false
+			}
+		}
+		m := 1 + r.Intn(3)
+		if n > m {
+			g, err := Generate(Spec{Kind: PLKind, Nodes: n, EdgesPerNode: m}, r)
+			if err != nil || !g.IsStronglyConnected(nil) {
+				return false
+			}
+			if g.NumLinks() != 2*m*(n-m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := MustGenerate(Spec{Kind: RandKind, Nodes: 20, DirectedLinks: 100}, rand.New(rand.NewSource(9)))
+	b := MustGenerate(Spec{Kind: RandKind, Nodes: 20, DirectedLinks: 100}, rand.New(rand.NewSource(9)))
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.Links() {
+		if a.Link(i) != b.Link(i) {
+			t.Fatalf("same seed produced different link %d", i)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{RandKind: "RandTopo", NearKind: "NearTopo", PLKind: "PLTopo", ISPKind: "ISP"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestMinDegreeTwoWithBudget(t *testing.T) {
+	// With an edge budget of at least n, no node may hang on a single
+	// bridge link: single-link failures must never sever a node.
+	for _, kind := range []Kind{RandKind, NearKind} {
+		for seed := int64(0); seed < 20; seed++ {
+			g := MustGenerate(Spec{Kind: kind, Nodes: 20, DirectedLinks: 100}, rand.New(rand.NewSource(seed)))
+			for v := 0; v < g.NumNodes(); v++ {
+				if g.OutDegree(v) < 2 {
+					t.Fatalf("%v seed %d: node %d has degree %d", kind, seed, v, g.OutDegree(v))
+				}
+			}
+		}
+	}
+}
+
+func TestTreeBudgetStillWorks(t *testing.T) {
+	// The minimum budget (a tree) remains constructible.
+	g := MustGenerate(Spec{Kind: RandKind, Nodes: 6, DirectedLinks: 10}, rand.New(rand.NewSource(1)))
+	if g.NumLinks() != 10 || !g.IsStronglyConnected(nil) {
+		t.Fatalf("tree-budget graph broken: %d links", g.NumLinks())
+	}
+}

@@ -1,0 +1,292 @@
+package repro
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func smallNet(t testing.TB) *Network {
+	t.Helper()
+	net, err := NewNetwork(NetworkSpec{Topology: "rand", Nodes: 10, Links: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestNewNetworkDefaults(t *testing.T) {
+	net := smallNet(t)
+	if net.Nodes() != 10 || net.Links() != 50 {
+		t.Fatalf("size [%d,%d], want [10,50]", net.Nodes(), net.Links())
+	}
+	if net.SLABoundMs() != 25 {
+		t.Errorf("theta = %g, want default 25", net.SLABoundMs())
+	}
+	ev := net.UniformRouting().Evaluate()
+	if math.Abs(ev.AvgUtilization-0.43) > 1e-9 {
+		t.Errorf("default avg util = %g, want 0.43", ev.AvgUtilization)
+	}
+}
+
+func TestNewNetworkISP(t *testing.T) {
+	net, err := NewNetwork(NetworkSpec{Topology: "isp", Seed: 1, MaxUtil: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Nodes() != 16 || net.Links() != 70 {
+		t.Fatalf("ISP size [%d,%d]", net.Nodes(), net.Links())
+	}
+	li := net.Link(0)
+	if li.From == "" || li.CapacityMbps != 500 || li.PropDelayMs <= 0 {
+		t.Errorf("LinkInfo = %+v", li)
+	}
+	if ev := net.UniformRouting().Evaluate(); math.Abs(ev.MaxUtilization-0.7) > 1e-9 {
+		t.Errorf("max util = %g, want 0.7", ev.MaxUtilization)
+	}
+}
+
+func TestNewNetworkRejectsBadSpecs(t *testing.T) {
+	cases := []NetworkSpec{
+		{Topology: "wat", Nodes: 10, Links: 40},
+		{Topology: "rand", Nodes: 10, Links: 41},
+		{Topology: "rand", Nodes: 10, Links: 40, AvgUtil: 0.4, MaxUtil: 0.8},
+	}
+	for _, spec := range cases {
+		if _, err := NewNetwork(spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestRoutingEvaluationConsistency(t *testing.T) {
+	net := smallNet(t)
+	r := net.UniformRouting()
+	normal := r.Evaluate()
+	report := r.EvaluateAllLinkFailures()
+	if len(report.PerScenario) != net.Links() {
+		t.Fatalf("scenarios = %d, want %d", len(report.PerScenario), net.Links())
+	}
+	// Failures can only hurt or match normal conditions on average.
+	var worstViol int
+	for _, e := range report.PerScenario {
+		if e.SLAViolations > worstViol {
+			worstViol = e.SLAViolations
+		}
+	}
+	if worstViol < normal.SLAViolations {
+		t.Errorf("worst failure (%d violations) better than normal (%d)", worstViol, normal.SLAViolations)
+	}
+	if report.Top10Violations < report.AvgViolations {
+		t.Errorf("top-10%% (%g) below average (%g)", report.Top10Violations, report.AvgViolations)
+	}
+}
+
+func TestNodeFailureSweep(t *testing.T) {
+	net := smallNet(t)
+	report := net.UniformRouting().EvaluateAllNodeFailures()
+	if len(report.PerScenario) != net.Nodes() {
+		t.Fatalf("scenarios = %d, want %d", len(report.PerScenario), net.Nodes())
+	}
+}
+
+func TestOptimizePipeline(t *testing.T) {
+	net := smallNet(t)
+	res, err := net.Optimize(OptimizeOptions{Budget: "quick", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regular == nil || res.Robust == nil {
+		t.Fatal("missing routings")
+	}
+	if len(res.CriticalLinks) == 0 {
+		t.Error("no critical links")
+	}
+	if len(res.CriticalityLambda) != net.Links() || len(res.CriticalityPhi) != net.Links() {
+		t.Error("criticality vectors sized wrong")
+	}
+
+	// Robust must respect the paper's constraints relative to regular.
+	regN, robN := res.Regular.Evaluate(), res.Robust.Evaluate()
+	if robN.DelayCost > regN.DelayCost+1e-9 {
+		t.Errorf("robust normal delay cost %g worse than regular %g", robN.DelayCost, regN.DelayCost)
+	}
+	if robN.ThroughputCost > 1.2*regN.ThroughputCost+1e-9 {
+		t.Errorf("robust throughput cost %g above 20%% allowance of %g", robN.ThroughputCost, regN.ThroughputCost)
+	}
+	// And be no worse under failures on average.
+	regF := res.Regular.EvaluateAllLinkFailures()
+	robF := res.Robust.EvaluateAllLinkFailures()
+	if robF.TotalDelayCost > regF.TotalDelayCost+1e-9 {
+		t.Errorf("robust failure delay cost %g worse than regular %g", robF.TotalDelayCost, regF.TotalDelayCost)
+	}
+}
+
+func TestOptimizeNodeFailureMode(t *testing.T) {
+	net := smallNet(t)
+	res, err := net.Optimize(OptimizeOptions{Budget: "quick", Seed: 5, NodeFailures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CriticalLinks) != 0 {
+		t.Error("node-failure mode should not produce critical links")
+	}
+	if res.Robust == nil {
+		t.Fatal("missing robust routing")
+	}
+}
+
+func TestOptimizeRejectsBadBudget(t *testing.T) {
+	net := smallNet(t)
+	if _, err := net.Optimize(OptimizeOptions{Budget: "hyper"}); err == nil {
+		t.Error("bad budget accepted")
+	}
+}
+
+func TestTrafficUncertaintyHelpers(t *testing.T) {
+	net := smallNet(t)
+	r := net.UniformRouting()
+	base := r.Evaluate()
+
+	fluct := net.WithFluctuatedTraffic(0.2, 99)
+	rf, err := r.On(fluct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := rf.Evaluate()
+	if pe.ThroughputCost == base.ThroughputCost {
+		t.Error("fluctuation changed nothing")
+	}
+
+	hot := net.WithHotspotTraffic(true, 42)
+	rh, err := r.On(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	he := rh.Evaluate()
+	if he.ThroughputCost <= base.ThroughputCost {
+		t.Error("hot-spot surge should increase congestion cost")
+	}
+}
+
+func TestRoutingOnRejectsSizeMismatch(t *testing.T) {
+	net := smallNet(t)
+	other, err := NewNetwork(NetworkSpec{Topology: "rand", Nodes: 8, Links: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.UniformRouting().On(other); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestWeightsAccessor(t *testing.T) {
+	net := smallNet(t)
+	d, th := net.RandomRouting(7).Weights()
+	if len(d) != net.Links() || len(th) != net.Links() {
+		t.Fatal("weight lengths wrong")
+	}
+	for i := range d {
+		if d[i] < 1 || d[i] > 20 || th[i] < 1 || th[i] > 20 {
+			t.Fatalf("weight out of range at %d: %d/%d", i, d[i], th[i])
+		}
+	}
+}
+
+func TestSingleFailureAccessors(t *testing.T) {
+	net := smallNet(t)
+	r := net.UniformRouting()
+	le := r.EvaluateLinkFailure(0)
+	ne := r.EvaluateNodeFailure(0)
+	if le.AvgUtilization <= 0 || ne.AvgUtilization <= 0 {
+		t.Error("failure evaluations look empty")
+	}
+}
+
+func TestRoutingJSONRoundTrip(t *testing.T) {
+	net := smallNet(t)
+	r := net.RandomRouting(9)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := net.RoutingFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Evaluate() != back.Evaluate() {
+		t.Error("round-tripped routing evaluates differently")
+	}
+	d1, t1 := r.Weights()
+	d2, t2 := back.Weights()
+	for i := range d1 {
+		if d1[i] != d2[i] || t1[i] != t2[i] {
+			t.Fatalf("weights differ at %d", i)
+		}
+	}
+}
+
+func TestRoutingFromJSONRejects(t *testing.T) {
+	net := smallNet(t)
+	if _, err := net.RoutingFromJSON([]byte(`{"delay":[1],"throughput":[1]}`)); err == nil {
+		t.Error("wrong size accepted")
+	}
+	if _, err := net.RoutingFromJSON([]byte(`{"delay":[0],"throughput":[1]}`)); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := net.RoutingFromJSON([]byte(`garbage`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestOptimizeProbabilisticMode(t *testing.T) {
+	net := smallNet(t)
+	probs := make([]float64, net.Links())
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	res, err := net.Optimize(OptimizeOptions{Budget: "quick", Seed: 5, LinkFailureProbs: probs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CriticalLinks) == 0 {
+		t.Error("no critical links under probabilistic model")
+	}
+	// Incompatible / malformed inputs rejected.
+	if _, err := net.Optimize(OptimizeOptions{Budget: "quick", LinkFailureProbs: probs, NodeFailures: true}); err == nil {
+		t.Error("probs + node failures accepted")
+	}
+	if _, err := net.Optimize(OptimizeOptions{Budget: "quick", LinkFailureProbs: probs[:3]}); err == nil {
+		t.Error("short probability vector accepted")
+	}
+}
+
+func TestDesignAdvisorOnFacade(t *testing.T) {
+	// A network whose diameter equals the SLA bound has a nonzero floor.
+	net, err := NewNetwork(NetworkSpec{
+		Topology: "rand", Nodes: 12, Links: 50,
+		SLABoundMs: 25, PropDiameterMs: 25, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := net.UnavoidableViolations()
+	if floor <= 0 {
+		t.Skip("instance has no unavoidable violations; advisor has nothing to do")
+	}
+	sugg, err := net.SuggestAugmentations(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugg[0].FloorRemoved <= 0 {
+		t.Errorf("best suggestion removes nothing: %+v", sugg[0])
+	}
+	for i := 1; i < len(sugg); i++ {
+		if sugg[i].FloorRemoved > sugg[i-1].FloorRemoved {
+			t.Error("suggestions not sorted by gain")
+		}
+	}
+}

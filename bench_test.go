@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/opt"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/topogen"
 	"repro/internal/traffic"
 )
@@ -200,6 +201,48 @@ func BenchmarkAllLinkFailureSweep30(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.SweepLinkFailures(w, links, false, results)
+	}
+}
+
+// Scenario-runner benchmarks: the same exhaustive single-link sweep on
+// the paper's standard 30-node/180-link RandTopo, serial versus a
+// worker pool. The ratio Serial/8Workers is the runner's speedup and is
+// tracked across PRs (the scenario engine's acceptance bar is >1.5× at
+// 8 workers).
+
+func benchScenarioRunner(b *testing.B, workers int) {
+	b.Helper()
+	ev, w := benchEvaluator(b, 30, 180)
+	set := scenario.SingleLinkFailures(ev.Graph())
+	r := scenario.Runner{Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(ev, w, set)
+	}
+}
+
+func BenchmarkScenarioRunnerSerial30(b *testing.B) { benchScenarioRunner(b, 1) }
+
+func BenchmarkScenarioRunner8Workers30(b *testing.B) { benchScenarioRunner(b, 8) }
+
+// BenchmarkScenarioRunnerMixed30 runs a heterogeneous set — dual-link
+// outages, SRLGs, node failures and hot-spot surges — the shape
+// cmd/scenarios fans out.
+func BenchmarkScenarioRunnerMixed30(b *testing.B) {
+	ev, w := benchEvaluator(b, 30, 180)
+	g := ev.Graph()
+	set := scenario.Merge("mixed",
+		scenario.DualLinkFailures(g, 60, 1),
+		scenario.SRLGFailures(g, 0),
+		scenario.NodeFailures(g),
+		scenario.HotspotSurges(ev.DemandDelay(), ev.DemandThroughput(), traffic.DefaultHotspot(true), 10, 1),
+	)
+	r := scenario.Runner{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(ev, w, set)
 	}
 }
 

@@ -15,8 +15,17 @@
 //	    AvgUtil: 0.43, SLABoundMs: 25, Seed: 1,
 //	})
 //	res, _ := net.Optimize(repro.OptimizeOptions{Budget: "std"})
-//	report := net.EvaluateAllLinkFailures(res.Robust)
+//	report := res.Robust.EvaluateAllLinkFailures()
 //	fmt.Println(report.AvgViolations)
+//
+// Richer perturbation sets — sampled multi-link outages, shared-risk
+// link groups, node failures, traffic surges — are built with the
+// Network scenario builders and evaluated on a parallel worker pool
+// with Network.RunScenarios:
+//
+//	set := net.DualLinkFailureScenarios(200, 1)
+//	rep, _ := net.RunScenarios(set, res.Robust)
+//	fmt.Println(rep.AvgViolations, rep.WorstScenario)
 //
 // The implementation lives in internal packages, one per subsystem (see
 // DESIGN.md for the inventory); the experiment harness that regenerates

@@ -16,6 +16,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/opt"
 	"repro/internal/routing"
+	scen "repro/internal/scenario"
 	"repro/internal/topogen"
 	"repro/internal/traffic"
 )
@@ -271,11 +272,20 @@ func runPipeline(sc *scenario, cfg opt.Config, frac float64) *pipeline {
 	critical := o.SelectCritical(p1, frac)
 	p2 := o.RunPhase2(p1, opt.FailureSet{Links: critical, Both: cfg.FailBoth})
 	pl := &pipeline{opt: o, p1: p1, critical: critical, p2: p2}
-	fs := opt.AllLinkFailures(sc.ev)
-	fs.Both = cfg.FailBoth
-	pl.regular = routing.Summarize(opt.EvaluateFailureSet(sc.ev, p1.BestW, fs))
-	pl.robust = routing.Summarize(opt.EvaluateFailureSet(sc.ev, p2.BestW, fs))
+	set := allLinkScenarios(sc, cfg)
+	pl.regular = routing.Summarize(scen.Runner{}.Run(sc.ev, p1.BestW, set).RoutingResults())
+	pl.robust = routing.Summarize(scen.Runner{}.Run(sc.ev, p2.BestW, set).RoutingResults())
 	return pl
+}
+
+// allLinkScenarios is the experiments' canonical robustness set: every
+// single directed link failure, under fiber-cut semantics when the
+// config asks for them.
+func allLinkScenarios(sc *scenario, cfg opt.Config) scen.Set {
+	if cfg.FailBoth {
+		return scen.PhysicalLinkFailures(sc.g)
+	}
+	return scen.SingleLinkFailures(sc.g)
 }
 
 // meanStd aggregates repetition results.

@@ -6,8 +6,8 @@ import (
 	"strings"
 
 	"repro/internal/design"
-	"repro/internal/graph"
 	"repro/internal/routing"
+	scen "repro/internal/scenario"
 	"repro/internal/topogen"
 )
 
@@ -31,37 +31,15 @@ func ExtDoubleFailure(o Options) (*Report, error) {
 	if o.Scale == Quick {
 		pairs = 25
 	}
-	rng := rand.New(rand.NewSource(o.Seed + 4242))
-	m := sc.g.NumLinks()
-	var regTot, robTot, regWorst, robWorst float64
-	mask := graph.NewMask(sc.g)
-	var regRes, robRes routing.Result
-	for i := 0; i < pairs; i++ {
-		a := rng.Intn(m)
-		b := rng.Intn(m)
-		for b == a {
-			b = rng.Intn(m)
-		}
-		mask.Reset()
-		mask.FailLink(a)
-		mask.FailLink(b)
-		sc.ev.Evaluate(pl.p1.BestW, mask, -1, &regRes)
-		sc.ev.Evaluate(pl.p2.BestW, mask, -1, &robRes)
-		regTot += float64(regRes.Violations)
-		robTot += float64(robRes.Violations)
-		if v := float64(regRes.Violations); v > regWorst {
-			regWorst = v
-		}
-		if v := float64(robRes.Violations); v > robWorst {
-			robWorst = v
-		}
-	}
+	set := scen.DualLinkFailures(sc.g, pairs, o.Seed+4242)
+	regular := scen.Runner{}.Run(sc.ev, pl.p1.BestW, set).Summary()
+	robust := scen.Runner{}.Run(sc.ev, pl.p2.BestW, set).Summary()
 	t := newTable("routing", "avg violations", "worst scenario")
-	t.rowf("regular|%.2f|%.0f", regTot/float64(pairs), regWorst)
-	t.rowf("robust (single-link objective)|%.2f|%.0f", robTot/float64(pairs), robWorst)
+	t.rowf("regular|%.2f|%d", regular.AvgViolations, regular.WorstViolations)
+	t.rowf("robust (single-link objective)|%.2f|%d", robust.AvgViolations, robust.WorstViolations)
 	t.write(w, fmt.Sprintf("Extension: %d random double link failures", pairs))
-	rep.Add("avg_viol_regular", regTot/float64(pairs))
-	rep.Add("avg_viol_robust", robTot/float64(pairs))
+	rep.Add("avg_viol_regular", regular.AvgViolations)
+	rep.Add("avg_viol_robust", robust.AvgViolations)
 	return rep, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/opt"
 	"repro/internal/routing"
+	scen "repro/internal/scenario"
 	"repro/internal/spf"
 	"repro/internal/topogen"
 	"repro/internal/traffic"
@@ -70,8 +71,7 @@ func Fig4(o Options) (*Report, error) {
 		sc.ev.Detail = true
 		var normal routing.Result
 		sc.ev.EvaluateNormal(pl.p2.BestW, &normal)
-		all := opt.AllLinkFailures(sc.ev)
-		failRes := opt.EvaluateFailureSet(sc.ev, pl.p2.BestW, all)
+		failRes := scen.Runner{}.Run(sc.ev, pl.p2.BestW, scen.SingleLinkFailures(sc.g)).RoutingResults()
 		sc.ev.Detail = false
 
 		m := sc.g.NumLinks()
@@ -83,7 +83,7 @@ func Fig4(o Options) (*Report, error) {
 		for fi := range failRes {
 			cnt, sum := 0, 0.0
 			for li := 0; li < m; li++ {
-				if li == all.Links[fi] {
+				if li == fi { // scenario fi fails link fi
 					continue
 				}
 				u := failRes[fi].LoadTotal[li] / sc.g.Link(li).Capacity
@@ -252,8 +252,7 @@ func Fig5d(o Options) (*Report, error) {
 		op := opt.New(sc.ev, cfg)
 		p1 := op.RunPhase1()
 		sc.ev.Detail = true
-		all := opt.AllLinkFailures(sc.ev)
-		failRes := opt.EvaluateFailureSet(sc.ev, p1.BestW, all)
+		failRes := scen.Runner{}.Run(sc.ev, p1.BestW, scen.SingleLinkFailures(sc.g)).RoutingResults()
 		sc.ev.Detail = false
 		vals := make([]float64, len(failRes))
 		for i := range failRes {
@@ -330,19 +329,17 @@ func fig6Impl(o Options, id string, load utilTarget, perturb func(*scenario, *ra
 	// descending, and average rank-wise over instances. Ranking all
 	// curves by one solution's worst scenarios would bias the comparison.
 	rng := rand.New(rand.NewSource(o.Seed + 31337))
-	links := sc.ev.AllLinks()
+	set := scen.SingleLinkFailures(sc.g)
 	sumR := make([]float64, k)
 	sumSqR := make([]float64, k)
 	sumNR := make([]float64, k)
 	phiR := make([]float64, k)
 	phiNR := make([]float64, k)
-	resR := make([]routing.Result, m)
-	resNR := make([]routing.Result, m)
 	for inst := 0; inst < instances; inst++ {
 		pd, pt := perturb(sc, rng)
 		pev := routing.NewEvaluator(sc.g, pd, pt, sc.ev.Params(), routing.WorstPath)
-		pev.SweepLinkFailures(pl.p2.BestW, links, false, resR)
-		pev.SweepLinkFailures(pl.p1.BestW, links, false, resNR)
+		resR := scen.Runner{}.Run(pev, pl.p2.BestW, set).RoutingResults()
+		resNR := scen.Runner{}.Run(pev, pl.p1.BestW, set).RoutingResults()
 		violProfR, phiProfR := rankProfiles(resR, k)
 		violProfNR, phiProfNR := rankProfiles(resNR, k)
 		for i := 0; i < k; i++ {
@@ -405,9 +402,9 @@ func Fig7ab(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	nodes := opt.AllNodeFailures(sc.ev)
+	nodes := scen.NodeFailures(sc.g)
 	sweep := func(ws *routing.WeightSetting) routing.FailureSummary {
-		return routing.Summarize(opt.EvaluateFailureSet(sc.ev, ws, nodes))
+		return routing.Summarize(scen.Runner{}.Run(sc.ev, ws, nodes).RoutingResults())
 	}
 	regular := sweep(sol.regular)
 	robustLink := sweep(sol.robustLink)
@@ -445,9 +442,9 @@ func Fig7cd(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	all := opt.AllLinkFailures(sc.ev)
-	linkSummary := routing.Summarize(opt.EvaluateFailureSet(sc.ev, sol.robustLink, all))
-	nodeSummary := routing.Summarize(opt.EvaluateFailureSet(sc.ev, sol.robustNode, all))
+	all := scen.SingleLinkFailures(sc.g)
+	linkSummary := routing.Summarize(scen.Runner{}.Run(sc.ev, sol.robustLink, all).RoutingResults())
+	nodeSummary := routing.Summarize(scen.Runner{}.Run(sc.ev, sol.robustNode, all).RoutingResults())
 
 	// Each routing's own worst-10% link failures, sorted independently
 	// (ranking both by one routing's worst scenarios would bias the

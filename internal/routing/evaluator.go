@@ -156,9 +156,28 @@ func (e *Evaluator) computePhiUncap() float64 {
 // if non-negative, removes all traffic sourced or sunk at that node (the
 // paper's node-failure semantics).
 func (e *Evaluator) Evaluate(w *WeightSetting, mask *graph.Mask, skipNode int, res *Result) {
+	e.EvaluateDemands(w, mask, skipNode, nil, nil, res)
+}
+
+// EvaluateDemands is Evaluate with the base traffic matrices replaced
+// for this one call: scenarios that perturb traffic (hot-spot surges,
+// uniform scaling) can be evaluated without building a new Evaluator.
+// Nil matrices fall back to the base ones; sizes must match the graph.
+// PhiNorm stays normalized by the base-traffic min-hop cost so costs
+// remain comparable across traffic perturbations.
+func (e *Evaluator) EvaluateDemands(w *WeightSetting, mask *graph.Mask, skipNode int, demD, demT *traffic.Matrix, res *Result) {
+	if demD == nil {
+		demD = e.demD
+	}
+	if demT == nil {
+		demT = e.demT
+	}
+	if demD.Size() != e.g.NumNodes() || demT.Size() != e.g.NumNodes() {
+		panic("routing: override traffic matrix size does not match graph")
+	}
 	sc := e.pool.Get().(*scratch)
 	defer e.pool.Put(sc)
-	e.evaluate(sc, w, mask, skipNode, res)
+	e.evaluate(sc, w, mask, skipNode, demD, demT, res)
 }
 
 // EvaluateNormal is Evaluate under normal conditions.
@@ -177,7 +196,7 @@ func (e *Evaluator) EvaluateLinkFailure(w *WeightSetting, li int, both bool, res
 	} else {
 		mask.FailLink(li)
 	}
-	e.evaluate(sc, w, mask, -1, res)
+	e.evaluate(sc, w, mask, -1, e.demD, e.demT, res)
 }
 
 // EvaluateNodeFailure evaluates w with node v down and all traffic
@@ -187,10 +206,10 @@ func (e *Evaluator) EvaluateNodeFailure(w *WeightSetting, v int, res *Result) {
 	defer e.pool.Put(sc)
 	mask := graph.NewMask(e.g)
 	mask.FailNode(v)
-	e.evaluate(sc, w, mask, v, res)
+	e.evaluate(sc, w, mask, v, e.demD, e.demT, res)
 }
 
-func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, skipNode int, res *Result) {
+func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, skipNode int, demD, demT *traffic.Matrix, res *Result) {
 	g := e.g
 	n, m := g.NumNodes(), g.NumLinks()
 	clear(sc.loadD)
@@ -208,14 +227,14 @@ func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, sk
 		// Delay class.
 		sc.ws.Run(g, w.Delay, t, mask)
 		sc.ws.Save(&sc.states[t])
-		e.demD.Column(t, sc.demCol)
+		demD.Column(t, sc.demCol)
 		if skipNode >= 0 {
 			sc.demCol[skipNode] = 0
 		}
 		sc.ws.AccumulateLoads(g, w.Delay, sc.demCol, mask, sc.loadD)
 		// Throughput class.
 		sc.ws.Run(g, w.Throughput, t, mask)
-		e.demT.Column(t, sc.demCol)
+		demT.Column(t, sc.demCol)
 		if skipNode >= 0 {
 			sc.demCol[skipNode] = 0
 		}
@@ -271,7 +290,7 @@ func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, sk
 			sc.ws.MeanDelays(g, w.Delay, sc.linkDelay, mask, sc.delays)
 		}
 		for s := 0; s < n; s++ {
-			if s == t || s == skipNode || e.demD.At(s, t) == 0 {
+			if s == t || s == skipNode || demD.At(s, t) == 0 {
 				continue
 			}
 			d := sc.delays[s]
@@ -291,7 +310,7 @@ func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, sk
 		}
 	}
 	if wantDetail {
-		e.fillPairMaxUtil(sc, w, mask, skipNode, res)
+		e.fillPairMaxUtil(sc, w, mask, skipNode, demD, res)
 	}
 
 	res.Cost = cost.Cost{Lambda: lambda, Phi: phi}
@@ -308,7 +327,7 @@ func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, sk
 
 // fillPairMaxUtil fills PairMaxUtil with a max-semiring DP: the largest
 // utilization over any link of the pair's ECMP path set.
-func (e *Evaluator) fillPairMaxUtil(sc *scratch, w *WeightSetting, mask *graph.Mask, skipNode int, res *Result) {
+func (e *Evaluator) fillPairMaxUtil(sc *scratch, w *WeightSetting, mask *graph.Mask, skipNode int, demD *traffic.Matrix, res *Result) {
 	g := e.g
 	n := g.NumNodes()
 	for t := 0; t < n; t++ {
@@ -318,7 +337,7 @@ func (e *Evaluator) fillPairMaxUtil(sc *scratch, w *WeightSetting, mask *graph.M
 		sc.ws.Restore(&sc.states[t])
 		sc.ws.MaxOverPaths(g, w.Delay, sc.linkUtil, mask, sc.utilDP)
 		for s := 0; s < n; s++ {
-			if s == t || s == skipNode || e.demD.At(s, t) == 0 {
+			if s == t || s == skipNode || demD.At(s, t) == 0 {
 				continue
 			}
 			if sc.utilDP[s] >= spf.InfDelay {

@@ -1,0 +1,205 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// SingleLinkFailures enumerates every directed link failure in link
+// order — the paper's canonical robustness set. Results from this set
+// line up index-for-index with serial EvaluateLinkFailure loops.
+func SingleLinkFailures(g *graph.Graph) Set {
+	return singleLinkFailures(g, false)
+}
+
+// PhysicalLinkFailures is SingleLinkFailures under fiber-cut semantics:
+// each scenario also takes down the failed link's reverse direction. The
+// set still enumerates every directed link, mirroring the robust
+// objective's FailBoth mode.
+func PhysicalLinkFailures(g *graph.Graph) Set {
+	return singleLinkFailures(g, true)
+}
+
+func singleLinkFailures(g *graph.Graph, both bool) Set {
+	name := "single-link"
+	if both {
+		name = "physical-link"
+	}
+	set := Set{Name: name, Scenarios: make([]Scenario, g.NumLinks())}
+	for li := 0; li < g.NumLinks(); li++ {
+		l := g.Link(li)
+		set.Scenarios[li] = LinkFailure{
+			Label: fmt.Sprintf("link:%s->%s", g.NodeName(l.From), g.NodeName(l.To)),
+			Links: []int{li},
+			Both:  both,
+		}
+	}
+	return set
+}
+
+// DualLinkFailures samples n outages of two distinct directed links
+// failing together, deterministically in seed. Pairs may repeat across
+// draws, as in independent failure arrivals.
+func DualLinkFailures(g *graph.Graph, n int, seed int64) Set {
+	rng := rand.New(rand.NewSource(seed))
+	m := g.NumLinks()
+	set := Set{Name: "dual-link", Scenarios: make([]Scenario, 0, n)}
+	if m < 2 {
+		return set
+	}
+	for i := 0; i < n; i++ {
+		a := rng.Intn(m)
+		b := rng.Intn(m)
+		for b == a {
+			b = rng.Intn(m)
+		}
+		set.Scenarios = append(set.Scenarios, LinkFailure{
+			Label: fmt.Sprintf("dual:%d+%d", a, b),
+			Links: []int{a, b},
+		})
+	}
+	return set
+}
+
+// NodeFailures enumerates every single node failure.
+func NodeFailures(g *graph.Graph) Set {
+	set := Set{Name: "node", Scenarios: make([]Scenario, g.NumNodes())}
+	for v := 0; v < g.NumNodes(); v++ {
+		set.Scenarios[v] = NodeFailure{Label: "node:" + g.NodeName(v), Node: v}
+	}
+	return set
+}
+
+// SRLGFailures derives shared-risk link groups from topology locality
+// and fails each group as one physical event. Graphs with planar node
+// coordinates bucket their physical (undirected) edges by midpoint into
+// a cells×cells grid over the node bounding box: edges running through
+// the same area share conduits and fail together. Graphs without
+// coordinates fall back to per-node incident-edge groups — a site
+// conduit cut that, unlike a node failure, leaves the site's traffic
+// offered (and stranded). Only groups of at least two physical edges
+// become scenarios; singletons are already covered by
+// SingleLinkFailures. cells ≤ 0 defaults to 4.
+func SRLGFailures(g *graph.Graph, cells int) Set {
+	if cells <= 0 {
+		cells = 4
+	}
+	set := Set{Name: "srlg"}
+	if g.NumNodes() == 0 {
+		return set
+	}
+	if _, ok := g.NodeCoord(0); !ok {
+		return srlgBySite(g)
+	}
+
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for v := 0; v < g.NumNodes(); v++ {
+		c, _ := g.NodeCoord(v)
+		minX, maxX = math.Min(minX, c.X), math.Max(maxX, c.X)
+		minY, maxY = math.Min(minY, c.Y), math.Max(maxY, c.Y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	cellOf := func(x, y float64) int {
+		cx, cy := 0, 0
+		if spanX > 0 {
+			cx = min(cells-1, int(float64(cells)*(x-minX)/spanX))
+		}
+		if spanY > 0 {
+			cy = min(cells-1, int(float64(cells)*(y-minY)/spanY))
+		}
+		return cy*cells + cx
+	}
+
+	groups := make([][]int, cells*cells)
+	for _, li := range g.UndirectedEdges() {
+		l := g.Link(li)
+		a, _ := g.NodeCoord(l.From)
+		b, _ := g.NodeCoord(l.To)
+		cell := cellOf((a.X+b.X)/2, (a.Y+b.Y)/2)
+		groups[cell] = append(groups[cell], li)
+	}
+	for cell, links := range groups {
+		if len(links) < 2 {
+			continue
+		}
+		set.Scenarios = append(set.Scenarios, LinkFailure{
+			Label: fmt.Sprintf("srlg:cell(%d,%d)x%d", cell%cells, cell/cells, len(links)),
+			Links: links,
+			Both:  true,
+		})
+	}
+	return set
+}
+
+// srlgBySite is the coordinate-free SRLG fallback: all physical edges
+// incident to one node fail together.
+func srlgBySite(g *graph.Graph) Set {
+	set := Set{Name: "srlg"}
+	for v := 0; v < g.NumNodes(); v++ {
+		out := g.OutLinks(v)
+		if len(out) < 2 {
+			continue
+		}
+		links := make([]int, len(out))
+		for i, li := range out {
+			links[i] = int(li)
+		}
+		set.Scenarios = append(set.Scenarios, LinkFailure{
+			Label: fmt.Sprintf("srlg:site:%s", g.NodeName(v)),
+			Links: links,
+			Both:  true,
+		})
+	}
+	return set
+}
+
+// HotspotSurges draws n independent hot-spot surge instances of the
+// paper's sporadic-incident model, deterministically in seed: each
+// scenario gets its own server/client assignment and surge factors.
+func HotspotSurges(demD, demT *traffic.Matrix, h traffic.Hotspot, n int, seed int64) Set {
+	rng := rand.New(rand.NewSource(seed))
+	set := Set{Name: "hotspot-surge", Scenarios: make([]Scenario, n)}
+	for i := 0; i < n; i++ {
+		d, t := h.Apply(demD, demT, rng)
+		set.Scenarios[i] = TrafficShift{
+			Label: fmt.Sprintf("surge:hotspot:%d", i),
+			DemD:  d, DemT: t,
+		}
+	}
+	return set
+}
+
+// UniformSurges scales all demands of both classes by each factor: the
+// "everything grows" stress sweep that probes how much headroom a
+// routing has before the SLA breaks.
+func UniformSurges(demD, demT *traffic.Matrix, factors ...float64) Set {
+	set := Set{Name: "uniform-surge", Scenarios: make([]Scenario, len(factors))}
+	for i, f := range factors {
+		set.Scenarios[i] = TrafficShift{
+			Label: fmt.Sprintf("surge:x%g", f),
+			DemD:  demD.Clone().Scale(f),
+			DemT:  demT.Clone().Scale(f),
+		}
+	}
+	return set
+}
+
+// WithTraffic overlays every scenario of a failure set on fixed
+// replacement demand matrices — e.g. "all dual-link failures during
+// this hot-spot surge". Scenario names gain the given suffix.
+func WithTraffic(inner Set, demD, demT *traffic.Matrix, suffix string) Set {
+	out := Set{Name: inner.Name + suffix, Scenarios: make([]Scenario, len(inner.Scenarios))}
+	for i, sc := range inner.Scenarios {
+		out.Scenarios[i] = Compound{
+			Label:   sc.Name() + suffix,
+			Failure: sc,
+			DemD:    demD, DemT: demT,
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Runner evaluates scenario sets on a worker pool. Each worker owns one
+// reusable failure mask; per-evaluation scratch buffers come from the
+// Evaluator's pool, so steady state holds exactly one scratch per
+// worker. The zero value runs on GOMAXPROCS workers.
+type Runner struct {
+	// Workers is the pool size; ≤ 0 uses GOMAXPROCS. Workers == 1 runs
+	// the set serially on the calling goroutine.
+	Workers int
+}
+
+// Result pairs a scenario's name with its evaluation.
+type Result struct {
+	Name string
+	routing.Result
+}
+
+// Summary aggregates a scenario sweep the way the paper reports
+// robustness, plus worst-case and percentile SLA metrics for richer
+// scenario sets.
+type Summary struct {
+	// Scenarios is the number of scenarios evaluated.
+	Scenarios int
+	// TotalViolations sums SLA violations over all scenarios;
+	// AvgViolations divides by the scenario count (the paper's β).
+	TotalViolations int
+	AvgViolations   float64
+	// Top10Violations is the mean violation count over the worst 10% of
+	// scenarios (at least one) — the paper's tail metric.
+	Top10Violations float64
+	// WorstViolations and WorstScenario identify the worst case. Ties go
+	// to the earliest scenario.
+	WorstViolations int
+	WorstScenario   string
+	// ViolationsP50/P95 are nearest-rank percentiles of the per-scenario
+	// violation counts.
+	ViolationsP50, ViolationsP95 float64
+	// Overloaded counts scenarios driving some alive link past capacity;
+	// Disconnected counts scenarios that strand at least one delay pair.
+	Overloaded   int
+	Disconnected int
+	// MaxUtilP50/P95/Worst summarize the per-scenario peak utilization.
+	MaxUtilP50, MaxUtilP95, WorstMaxUtil float64
+	// TotalCost compounds Λ and Φ over all scenarios (Eq. 4's failure
+	// cost for an unweighted set).
+	TotalCost cost.Cost
+}
+
+// Report is the outcome of running one scenario set.
+type Report struct {
+	// Set names the scenario set.
+	Set string
+	// Results holds per-scenario outcomes in set order, regardless of
+	// which worker evaluated them.
+	Results []Result
+
+	summary *Summary
+}
+
+// Summary computes the report's aggregates on first use and caches
+// them. Callers that only consume Results (e.g. to feed
+// routing.Summarize) never pay for the aggregation.
+func (r *Report) Summary() Summary {
+	if r.summary == nil {
+		s := summarize(r.Results)
+		r.summary = &s
+	}
+	return *r.summary
+}
+
+// Run evaluates w under every scenario of the set and aggregates a
+// report. Results are deterministic and independent of the worker
+// count: each scenario owns its output slot and is evaluated from the
+// same immutable inputs.
+func (r Runner) Run(ev *routing.Evaluator, w *routing.WeightSetting, set Set) *Report {
+	n := len(set.Scenarios)
+	results := make([]Result, n)
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var next atomic.Int64
+	work := func(mask *graph.Mask) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			sc := set.Scenarios[i]
+			mask.Reset()
+			skip, demD, demT := sc.Apply(mask)
+			results[i].Name = sc.Name()
+			ev.EvaluateDemands(w, mask, skip, demD, demT, &results[i].Result)
+		}
+	}
+	if workers <= 1 {
+		work(graph.NewMask(ev.Graph()))
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for k := 0; k < workers; k++ {
+			go func() {
+				defer wg.Done()
+				work(graph.NewMask(ev.Graph()))
+			}()
+		}
+		wg.Wait()
+	}
+
+	return &Report{Set: set.Name, Results: results}
+}
+
+func summarize(results []Result) Summary {
+	s := Summary{Scenarios: len(results)}
+	if len(results) == 0 {
+		return s
+	}
+	viol := make([]float64, len(results))
+	utils := make([]float64, len(results))
+	s.WorstViolations = -1
+	for i := range results {
+		res := &results[i].Result
+		viol[i] = float64(res.Violations)
+		utils[i] = res.MaxUtil
+		s.TotalViolations += res.Violations
+		s.TotalCost = s.TotalCost.Add(res.Cost)
+		if res.Violations > s.WorstViolations {
+			s.WorstViolations = res.Violations
+			s.WorstScenario = results[i].Name
+		}
+		if res.MaxUtil > 1 {
+			s.Overloaded++
+		}
+		if res.MaxUtil > s.WorstMaxUtil {
+			s.WorstMaxUtil = res.MaxUtil
+		}
+		if res.Disconnected > 0 {
+			s.Disconnected++
+		}
+	}
+	s.AvgViolations = float64(s.TotalViolations) / float64(len(results))
+
+	sort.Float64s(viol)
+	sort.Float64s(utils)
+	// Mean over the worst ~10% of scenarios, matching routing.Summarize.
+	k := len(viol) / 10
+	if k == 0 {
+		k = 1
+	}
+	var top float64
+	for _, v := range viol[len(viol)-k:] {
+		top += v
+	}
+	s.Top10Violations = top / float64(k)
+	s.ViolationsP50 = percentile(viol, 0.50)
+	s.ViolationsP95 = percentile(viol, 0.95)
+	s.MaxUtilP50 = percentile(utils, 0.50)
+	s.MaxUtilP95 = percentile(utils, 0.95)
+	return s
+}
+
+// percentile returns the nearest-rank p-percentile of ascending-sorted
+// values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// RoutingResults strips the names off a report's results, for reuse by
+// aggregation code written against []routing.Result (e.g.
+// routing.Summarize).
+func (r *Report) RoutingResults() []routing.Result {
+	out := make([]routing.Result, len(r.Results))
+	for i := range r.Results {
+		out[i] = r.Results[i].Result
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package scenario is the perturbation engine of the routing system: it
+// generates sets of hypothetical network states — link failures (single,
+// sampled multi-link, shared-risk groups), node failures, and traffic
+// surges — and evaluates a weight setting against all of them on a
+// worker pool.
+//
+// A Scenario describes one perturbation: the failure mask it induces on
+// the topology, the node (if any) whose traffic disappears, and the
+// demand matrices in effect. Generators build Sets of scenarios; a
+// Runner fans a Set across workers, with one reusable mask per worker
+// and the Evaluator's pooled scratch state per call, and aggregates a
+// Report with per-scenario results and worst-case/percentile SLA
+// metrics.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// Scenario is one hypothetical perturbation of the network.
+//
+// Apply writes the scenario's failure pattern into mask — handed in
+// already reset — and returns its traffic perturbation: skipNode is a
+// node whose sourced and sunk traffic is removed (-1 for none), and
+// demD/demT replace the base demand matrices when non-nil. Apply must
+// be cheap and must not retain mask: it is called concurrently from
+// runner workers, each owning its mask.
+type Scenario interface {
+	Name() string
+	Apply(mask *graph.Mask) (skipNode int, demD, demT *traffic.Matrix)
+}
+
+// LinkFailure fails a set of directed links together: a single link, a
+// sampled multi-link outage, or a shared-risk group. Both additionally
+// fails each link's reverse (a physical fiber cut).
+type LinkFailure struct {
+	Label string
+	Links []int
+	Both  bool
+}
+
+// Name returns the label, or a derived "link:…" name when empty.
+func (s LinkFailure) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return fmt.Sprintf("link:%v", s.Links)
+}
+
+// Apply marks the links dead. The base traffic stays in effect, so
+// demand that loses all paths shows up as disconnected pairs.
+func (s LinkFailure) Apply(mask *graph.Mask) (int, *traffic.Matrix, *traffic.Matrix) {
+	for _, li := range s.Links {
+		if s.Both {
+			mask.FailLinkBoth(li)
+		} else {
+			mask.FailLink(li)
+		}
+	}
+	return -1, nil, nil
+}
+
+// NodeFailure fails one node and removes the traffic it sources and
+// sinks — the paper's node-failure semantics.
+type NodeFailure struct {
+	Label string
+	Node  int
+}
+
+// Name returns the label, or a derived "node:…" name when empty.
+func (s NodeFailure) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return fmt.Sprintf("node:%d", s.Node)
+}
+
+// Apply marks the node dead and skips its traffic.
+func (s NodeFailure) Apply(mask *graph.Mask) (int, *traffic.Matrix, *traffic.Matrix) {
+	mask.FailNode(s.Node)
+	return s.Node, nil, nil
+}
+
+// TrafficShift evaluates the intact topology under replacement demand
+// matrices: a surge, a hot spot, or any other what-if traffic state.
+// Matrices left nil keep the base demands of that class.
+type TrafficShift struct {
+	Label      string
+	DemD, DemT *traffic.Matrix
+}
+
+// Name returns the label, or "traffic-shift" when empty.
+func (s TrafficShift) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "traffic-shift"
+}
+
+// Apply leaves the mask untouched and substitutes the demands.
+func (s TrafficShift) Apply(mask *graph.Mask) (int, *traffic.Matrix, *traffic.Matrix) {
+	return -1, s.DemD, s.DemT
+}
+
+// Compound overlays a failure scenario on a traffic perturbation — e.g.
+// a link failure during a hot-spot surge, the compounded stress case.
+// The inner scenario contributes its failure pattern and skip node; the
+// compound's matrices (when non-nil) override whatever traffic the
+// inner scenario would use.
+type Compound struct {
+	Label      string
+	Failure    Scenario // nil = intact topology
+	DemD, DemT *traffic.Matrix
+}
+
+// Name returns the label, or "<failure>+shift" when empty.
+func (s Compound) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	if s.Failure == nil {
+		return "shift"
+	}
+	return s.Failure.Name() + "+shift"
+}
+
+// Apply applies the inner failure, then overrides the traffic.
+func (s Compound) Apply(mask *graph.Mask) (int, *traffic.Matrix, *traffic.Matrix) {
+	skip := -1
+	var demD, demT *traffic.Matrix
+	if s.Failure != nil {
+		skip, demD, demT = s.Failure.Apply(mask)
+	}
+	if s.DemD != nil {
+		demD = s.DemD
+	}
+	if s.DemT != nil {
+		demT = s.DemT
+	}
+	return skip, demD, demT
+}
+
+// Set is a named list of scenarios, the unit of work of a Runner.
+type Set struct {
+	Name      string
+	Scenarios []Scenario
+}
+
+// Size returns the scenario count.
+func (s Set) Size() int { return len(s.Scenarios) }
+
+// Merge concatenates sets under a new name, in argument order.
+func Merge(name string, sets ...Set) Set {
+	out := Set{Name: name}
+	for _, s := range sets {
+		out.Scenarios = append(out.Scenarios, s.Scenarios...)
+	}
+	return out
+}

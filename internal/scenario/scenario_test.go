@@ -1,0 +1,254 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topogen"
+	"repro/internal/traffic"
+)
+
+// testNet builds a random topology with gravity traffic, the standard
+// fixture everything in this file runs against.
+func testNet(t testing.TB, nodes, links int) (*graph.Graph, *routing.Evaluator, *routing.WeightSetting) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g, err := topogen.Generate(topogen.Spec{Kind: topogen.RandKind, Nodes: nodes, DirectedLinks: links}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demD, demT := traffic.Gravity(nodes, 1, 0.3, rng)
+	if _, err := routing.ScaleToAvgUtil(g, demD, demT, 0.43); err != nil {
+		t.Fatal(err)
+	}
+	ev := routing.NewEvaluator(g, demD, demT, cost.DefaultParams(), routing.WorstPath)
+	return g, ev, routing.RandomWeightSetting(links, 20, rng)
+}
+
+func TestSingleLinkRunnerMatchesSerialEvaluator(t *testing.T) {
+	g, ev, w := testNet(t, 12, 60)
+	rep := Runner{}.Run(ev, w, SingleLinkFailures(g))
+	if len(rep.Results) != g.NumLinks() {
+		t.Fatalf("%d results for %d links", len(rep.Results), g.NumLinks())
+	}
+	var want routing.Result
+	for li := 0; li < g.NumLinks(); li++ {
+		ev.EvaluateLinkFailure(w, li, false, &want)
+		if !reflect.DeepEqual(want, rep.Results[li].Result) {
+			t.Fatalf("link %d: runner result diverges from EvaluateLinkFailure\nrunner: %+v\nserial: %+v",
+				li, rep.Results[li].Result, want)
+		}
+	}
+}
+
+func TestNodeFailureRunnerMatchesSerialEvaluator(t *testing.T) {
+	g, ev, w := testNet(t, 12, 60)
+	rep := Runner{}.Run(ev, w, NodeFailures(g))
+	var want routing.Result
+	for v := 0; v < g.NumNodes(); v++ {
+		ev.EvaluateNodeFailure(w, v, &want)
+		if !reflect.DeepEqual(want, rep.Results[v].Result) {
+			t.Fatalf("node %d: runner diverges from EvaluateNodeFailure", v)
+		}
+	}
+}
+
+func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
+	g, ev, w := testNet(t, 12, 60)
+	set := Merge("mixed",
+		SingleLinkFailures(g),
+		DualLinkFailures(g, 20, 3),
+		NodeFailures(g),
+		SRLGFailures(g, 3),
+	)
+	serial := Runner{Workers: 1}.Run(ev, w, set)
+	for _, workers := range []int{2, 4, 8} {
+		par := Runner{Workers: workers}.Run(ev, w, set)
+		if !reflect.DeepEqual(serial.Results, par.Results) {
+			t.Fatalf("results differ between 1 and %d workers", workers)
+		}
+		if !reflect.DeepEqual(serial.Summary(), par.Summary()) {
+			t.Fatalf("summary differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+func TestDualLinkFailures(t *testing.T) {
+	g, _, _ := testNet(t, 12, 60)
+	a := DualLinkFailures(g, 25, 42)
+	b := DualLinkFailures(g, 25, 42)
+	if a.Size() != 25 {
+		t.Fatalf("size %d, want 25", a.Size())
+	}
+	for i, sc := range a.Scenarios {
+		lf := sc.(LinkFailure)
+		if len(lf.Links) != 2 || lf.Links[0] == lf.Links[1] {
+			t.Fatalf("scenario %d links %v not a distinct pair", i, lf.Links)
+		}
+		if sc.Name() != b.Scenarios[i].Name() {
+			t.Fatalf("dual-link sampling not deterministic at %d", i)
+		}
+	}
+	if c := DualLinkFailures(g, 25, 43); c.Scenarios[0].Name() == a.Scenarios[0].Name() &&
+		c.Scenarios[1].Name() == a.Scenarios[1].Name() &&
+		c.Scenarios[2].Name() == a.Scenarios[2].Name() {
+		t.Error("different seeds produced identical leading draws")
+	}
+}
+
+func TestSRLGFailuresGridGroups(t *testing.T) {
+	g, _, _ := testNet(t, 20, 100)
+	set := SRLGFailures(g, 3)
+	if set.Size() == 0 {
+		t.Fatal("no SRLG groups on a 20-node geometric topology")
+	}
+	seen := map[int]bool{}
+	for _, sc := range set.Scenarios {
+		lf := sc.(LinkFailure)
+		if len(lf.Links) < 2 {
+			t.Fatalf("group %q has fewer than 2 links", sc.Name())
+		}
+		if !lf.Both {
+			t.Fatalf("group %q must fail both directions", sc.Name())
+		}
+		for _, li := range lf.Links {
+			if seen[li] {
+				t.Fatalf("link %d appears in two SRLG groups", li)
+			}
+			seen[li] = true
+			if r := g.Link(li).Reverse; r >= 0 && seen[r] {
+				t.Fatalf("both directions of an edge listed separately")
+			}
+		}
+	}
+}
+
+func TestSRLGFailuresSiteFallback(t *testing.T) {
+	// Hand-built graph without coordinates: star around node 0.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 100, 1)
+	b.AddEdge(0, 2, 100, 1)
+	b.AddEdge(0, 3, 100, 1)
+	g := b.MustBuild()
+	set := SRLGFailures(g, 0)
+	if set.Size() != 1 {
+		t.Fatalf("site fallback produced %d groups, want 1 (hub only)", set.Size())
+	}
+	lf := set.Scenarios[0].(LinkFailure)
+	if len(lf.Links) != 3 || !strings.HasPrefix(set.Scenarios[0].Name(), "srlg:site:") {
+		t.Fatalf("hub group wrong: %+v", lf)
+	}
+}
+
+func TestHotspotSurgesDeterministicAndDistinct(t *testing.T) {
+	_, ev, _ := testNet(t, 12, 60)
+	h := traffic.DefaultHotspot(true)
+	a := HotspotSurges(ev.DemandDelay(), ev.DemandThroughput(), h, 5, 9)
+	b := HotspotSurges(ev.DemandDelay(), ev.DemandThroughput(), h, 5, 9)
+	if a.Size() != 5 {
+		t.Fatalf("size %d", a.Size())
+	}
+	for i := range a.Scenarios {
+		sa := a.Scenarios[i].(TrafficShift)
+		sb := b.Scenarios[i].(TrafficShift)
+		if !reflect.DeepEqual(sa.DemD, sb.DemD) || !reflect.DeepEqual(sa.DemT, sb.DemT) {
+			t.Fatalf("instance %d not deterministic in seed", i)
+		}
+		if sa.DemD.Total() <= ev.DemandDelay().Total() {
+			t.Errorf("instance %d did not increase delay-class volume", i)
+		}
+	}
+}
+
+func TestUniformSurgeScalesEvaluation(t *testing.T) {
+	_, ev, w := testNet(t, 12, 60)
+	rep := Runner{}.Run(ev, w, UniformSurges(ev.DemandDelay(), ev.DemandThroughput(), 1, 2))
+	var base routing.Result
+	ev.EvaluateNormal(w, &base)
+	// Factor 1 must reproduce the unperturbed evaluation exactly.
+	if !reflect.DeepEqual(base, rep.Results[0].Result) {
+		t.Fatal("factor-1 surge diverges from EvaluateNormal")
+	}
+	// Factor 2 doubles every load, hence exactly doubles utilization.
+	if got, want := rep.Results[1].MaxUtil, 2*base.MaxUtil; math.Abs(got-want) > 1e-9 {
+		t.Errorf("factor-2 MaxUtil = %g, want %g", got, want)
+	}
+}
+
+func TestCompoundAppliesFailureAndTraffic(t *testing.T) {
+	g, ev, w := testNet(t, 12, 60)
+	surged := ev.DemandDelay().Clone().Scale(2)
+	set := WithTraffic(SingleLinkFailures(g), surged, nil, "+x2")
+	rep := Runner{}.Run(ev, w, set)
+	if rep.Results[0].Name != set.Scenarios[0].Name() || !strings.HasSuffix(rep.Results[0].Name, "+x2") {
+		t.Fatalf("compound name %q", rep.Results[0].Name)
+	}
+	// Same state computed directly: link 0 down + doubled delay demands.
+	mask := graph.NewMask(g)
+	mask.FailLink(0)
+	var want routing.Result
+	ev.EvaluateDemands(w, mask, -1, surged, nil, &want)
+	if !reflect.DeepEqual(want, rep.Results[0].Result) {
+		t.Fatal("compound scenario diverges from direct EvaluateDemands")
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	g, ev, w := testNet(t, 12, 60)
+	rep := Runner{}.Run(ev, w, SingleLinkFailures(g))
+	s := rep.Summary()
+	if s.Scenarios != g.NumLinks() {
+		t.Fatalf("scenario count %d", s.Scenarios)
+	}
+	var total, worst int
+	for _, r := range rep.Results {
+		total += r.Violations
+		if r.Violations > worst {
+			worst = r.Violations
+		}
+	}
+	if s.TotalViolations != total || math.Abs(s.AvgViolations-float64(total)/float64(s.Scenarios)) > 1e-12 {
+		t.Errorf("violation totals wrong: %+v", s)
+	}
+	if s.WorstViolations != worst {
+		t.Errorf("worst %d, want %d", s.WorstViolations, worst)
+	}
+	if s.WorstScenario == "" {
+		t.Error("worst scenario unnamed")
+	}
+	if s.Top10Violations < s.AvgViolations {
+		t.Error("top-10% mean below overall mean")
+	}
+	if s.ViolationsP95 < s.ViolationsP50 || s.MaxUtilP95 < s.MaxUtilP50 {
+		t.Error("percentiles not monotone")
+	}
+	if s.WorstMaxUtil < s.MaxUtilP95 {
+		t.Error("worst util below p95")
+	}
+	// Cross-check the shared aggregates against routing.Summarize.
+	ref := routing.Summarize(rep.RoutingResults())
+	if s.TotalViolations != ref.TotalViolations || s.AvgViolations != ref.Avg || s.Top10Violations != ref.Top10Avg {
+		t.Errorf("summary diverges from routing.Summarize: %+v vs %+v", s, ref)
+	}
+	if s.TotalCost != ref.Total {
+		t.Errorf("total cost %+v vs %+v", s.TotalCost, ref.Total)
+	}
+}
+
+func TestEmptySetAndMerge(t *testing.T) {
+	_, ev, w := testNet(t, 8, 40)
+	rep := Runner{}.Run(ev, w, Set{Name: "empty"})
+	if rep.Summary().Scenarios != 0 || len(rep.Results) != 0 {
+		t.Fatalf("empty set produced %+v", rep.Summary())
+	}
+	m := Merge("m", Set{Scenarios: []Scenario{NodeFailure{Node: 0}}}, Set{Scenarios: []Scenario{NodeFailure{Node: 1}}})
+	if m.Size() != 2 || m.Name != "m" {
+		t.Fatalf("merge wrong: %+v", m)
+	}
+}

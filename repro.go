@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/opt"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/topogen"
 	"repro/internal/traffic"
 )
@@ -284,16 +285,18 @@ func toFailureReport(s routing.FailureSummary) FailureReport {
 	return fr
 }
 
-// EvaluateAllLinkFailures sweeps every single directed link failure.
+// EvaluateAllLinkFailures sweeps every single directed link failure on
+// the scenario runner.
 func (r *Routing) EvaluateAllLinkFailures() FailureReport {
-	fs := opt.AllLinkFailures(r.net.ev)
-	return toFailureReport(routing.Summarize(opt.EvaluateFailureSet(r.net.ev, r.w, fs)))
+	rep := scenario.Runner{}.Run(r.net.ev, r.w, scenario.SingleLinkFailures(r.net.g))
+	return toFailureReport(routing.Summarize(rep.RoutingResults()))
 }
 
-// EvaluateAllNodeFailures sweeps every single node failure.
+// EvaluateAllNodeFailures sweeps every single node failure on the
+// scenario runner.
 func (r *Routing) EvaluateAllNodeFailures() FailureReport {
-	fs := opt.AllNodeFailures(r.net.ev)
-	return toFailureReport(routing.Summarize(opt.EvaluateFailureSet(r.net.ev, r.w, fs)))
+	rep := scenario.Runner{}.Run(r.net.ev, r.w, scenario.NodeFailures(r.net.g))
+	return toFailureReport(routing.Summarize(rep.RoutingResults()))
 }
 
 // OptimizeOptions controls the optimization pipeline.

@@ -261,3 +261,40 @@ func BenchmarkPhase1Iteration(b *testing.B) {
 		opt.New(ev, cfg).RunPhase1()
 	}
 }
+
+// Phase 1 on the paper's 16-node ISP backbone, from-scratch versus
+// delta-SPF sessions. The two visit identical moves (bit-identical
+// Solutions; see opt's equivalence tests), so the time ratio
+// Full/Incremental is the incremental engine's speedup and is tracked
+// per-PR in CI. The evals_per_sec metric is the comparable throughput
+// number.
+func benchPhase1ISP(b *testing.B, fullEval bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g, err := topogen.Generate(topogen.Spec{Kind: topogen.ISPKind}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	demD, demT := traffic.Gravity(g.NumNodes(), 1, 0.3, rng)
+	if _, err := routing.ScaleToAvgUtil(g, demD, demT, 0.43); err != nil {
+		b.Fatal(err)
+	}
+	ev := routing.NewEvaluator(g, demD, demT, cost.DefaultParams(), routing.WorstPath)
+	cfg := opt.QuickConfig()
+	cfg.MaxIter1 = 8
+	cfg.P1 = 1
+	cfg.Div1Interval = 4
+	cfg.FullEval = fullEval
+	var stats opt.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		p1 := opt.New(ev, cfg).RunPhase1()
+		stats = p1.Stats
+	}
+	b.ReportMetric(stats.EvalsPerSec(), "evals_per_sec")
+}
+
+func BenchmarkPhase1Full(b *testing.B) { benchPhase1ISP(b, true) }
+
+func BenchmarkPhase1Incremental(b *testing.B) { benchPhase1ISP(b, false) }

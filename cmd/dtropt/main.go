@@ -81,8 +81,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dtropt:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("optimization finished in %s (criticality converged: %v)\n\n",
+	fmt.Printf("optimization finished in %s (criticality converged: %v)\n",
 		time.Since(start).Round(time.Millisecond), res.Converged)
+	fmt.Printf("  phase 1: %d evals in %.2fs (%.0f evals/s)   phase 2: %d evals in %.2fs (%.0f evals/s)\n\n",
+		res.Phase1Stats.Evaluations, res.Phase1Stats.Seconds, res.Phase1Stats.EvalsPerSec,
+		res.Phase2Stats.Evaluations, res.Phase2Stats.Seconds, res.Phase2Stats.EvalsPerSec)
 
 	printSolution := func(name string, r *repro.Routing) {
 		normal := r.Evaluate()

@@ -27,6 +27,12 @@
 //	rep, _ := net.RunScenarios(set, res.Robust)
 //	fmt.Println(rep.AvgViolations, rep.WorstScenario)
 //
+// Optimize's inner loops run on an incremental delta-SPF engine that
+// re-evaluates only the destinations and failure scenarios a weight
+// move can touch, bit-identical to from-scratch evaluation (see
+// DESIGN.md, "The incremental evaluation engine"); OptimizeResult's
+// Phase1Stats/Phase2Stats report the resulting evaluation throughput.
+//
 // The implementation lives in internal packages, one per subsystem (see
 // DESIGN.md for the inventory); the experiment harness that regenerates
 // every table and figure of the paper is exposed through

@@ -190,6 +190,11 @@ func Savings(o Options) (*Report, error) {
 	rep.Add("phase2_evals_full", float64(p2full.Stats.Evaluations))
 	rep.Add("phase2_seconds_critical", p2crit.Stats.Duration.Seconds())
 	rep.Add("phase2_seconds_full", p2full.Stats.Duration.Seconds())
+	rep.Add("evals_per_sec_phase1", p1.Stats.EvalsPerSec())
+	rep.Add("evals_per_sec_phase2_critical", p2crit.Stats.EvalsPerSec())
+	rep.Add("evals_per_sec_phase2_full", p2full.Stats.EvalsPerSec())
+	fmt.Fprintf(w, "evaluation throughput: phase 1 %.0f evals/s, phase 2 critical %.0f, full %.0f\n\n",
+		p1.Stats.EvalsPerSec(), p2crit.Stats.EvalsPerSec(), p2full.Stats.EvalsPerSec())
 	return rep, nil
 }
 

@@ -115,4 +115,9 @@ func (g *Graph) buildAdjacency() {
 		g.out[l.From] = append(g.out[l.From], int32(li))
 		g.in[l.To] = append(g.in[l.To], int32(li))
 	}
+	g.from = make([]int32, len(g.links))
+	g.to = make([]int32, len(g.links))
+	for li, l := range g.links {
+		g.from[li], g.to[li] = int32(l.From), int32(l.To)
+	}
 }

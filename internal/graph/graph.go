@@ -34,6 +34,8 @@ type Graph struct {
 	links  []Link
 	out    [][]int32 // out[v] lists indices of links leaving v
 	in     [][]int32 // in[v] lists indices of links entering v
+	from   []int32   // from[li]/to[li] mirror the link endpoints so hot
+	to     []int32   // per-link loops avoid copying whole Link structs
 	names  []string
 	coords []Coord
 }
@@ -49,6 +51,12 @@ func (g *Graph) Link(i int) Link { return g.links[i] }
 
 // Links returns all links. The returned slice must not be modified.
 func (g *Graph) Links() []Link { return g.links }
+
+// LinkEndpoints returns the per-link endpoint arrays (from[li], to[li]),
+// shared by every caller that needs allocation-free endpoint lookups in
+// hot loops (SPF membership tests, failure masks, sessions). The
+// returned slices must not be modified.
+func (g *Graph) LinkEndpoints() (from, to []int32) { return g.from, g.to }
 
 // OutLinks returns the indices of links leaving node v.
 // The returned slice must not be modified.

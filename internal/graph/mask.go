@@ -9,7 +9,10 @@ package graph
 type Mask struct {
 	deadLinks []bool
 	deadNodes []bool
-	g         *Graph
+	// from/to alias the graph's shared endpoint arrays so the hot
+	// LinkAlive check avoids copying whole Link structs.
+	from, to []int32
+	g        *Graph
 }
 
 // NewMask returns an all-alive mask for g.
@@ -17,6 +20,8 @@ func NewMask(g *Graph) *Mask {
 	return &Mask{
 		deadLinks: make([]bool, g.NumLinks()),
 		deadNodes: make([]bool, g.NumNodes()),
+		from:      g.from,
+		to:        g.to,
 		g:         g,
 	}
 }
@@ -36,11 +41,7 @@ func (m *Mask) LinkAlive(li int) bool {
 	if m == nil {
 		return true
 	}
-	if m.deadLinks[li] {
-		return false
-	}
-	l := m.g.Link(li)
-	return !m.deadNodes[l.From] && !m.deadNodes[l.To]
+	return !m.deadLinks[li] && !m.deadNodes[m.from[li]] && !m.deadNodes[m.to[li]]
 }
 
 // NodeAlive reports whether node v is up.

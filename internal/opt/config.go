@@ -69,6 +69,13 @@ type Config struct {
 	// distribution (the paper's own "infinite weight" limit) is both
 	// cheaper and more faithful at reduced budgets. See DESIGN.md.
 	ExactPhase1b bool
+	// FullEval disables the incremental evaluation engine: every move in
+	// the Phase 1/Phase 2 inner loops is evaluated from scratch instead
+	// of through delta-SPF sessions. The two modes visit the same moves
+	// with the same RNG stream and produce bit-identical Solutions (the
+	// sessions' contract, see routing.Session); FullEval exists as the
+	// oracle for equivalence tests and as the benchmark baseline.
+	FullEval bool
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -119,4 +126,13 @@ type Stats struct {
 	Iterations  int           // full passes over all links
 	Evaluations int           // single-scenario network evaluations
 	Duration    time.Duration // wall time
+}
+
+// EvalsPerSec returns the evaluation throughput, the headline number the
+// incremental engine moves. Zero when no time was measured.
+func (s Stats) EvalsPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Evaluations) / s.Duration.Seconds()
 }

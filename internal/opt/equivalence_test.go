@@ -1,0 +1,124 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/routing"
+	"repro/internal/topogen"
+	"repro/internal/traffic"
+)
+
+// equivalenceEvaluator builds the evaluator for one of the equivalence
+// topologies. Both modes must see identical inputs, so each run builds
+// its own copy from the same seed.
+func equivalenceEvaluator(t *testing.T, kind topogen.Kind, nodes, links int, seed int64) *routing.Evaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := topogen.Generate(topogen.Spec{Kind: kind, Nodes: nodes, DirectedLinks: links}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demD, demT := traffic.Gravity(g.NumNodes(), 1, 0.3, rng)
+	if _, err := routing.ScaleToAvgUtil(g, demD, demT, 0.45); err != nil {
+		t.Fatal(err)
+	}
+	return routing.NewEvaluator(g, demD, demT, cost.DefaultParams(), routing.WorstPath)
+}
+
+// TestIncrementalMatchesFullEval is the refactor's acceptance bar: the
+// session-based Phase 1/Phase 2 pipeline must produce bit-identical
+// Solutions (weights, costs, critical set) to the from-scratch
+// full-evaluation path under the same seeds, on more than one topology
+// family.
+func TestIncrementalMatchesFullEval(t *testing.T) {
+	cases := []struct {
+		name         string
+		kind         topogen.Kind
+		nodes, links int
+	}{
+		{"rand8", topogen.RandKind, 8, 40},
+		{"isp16", topogen.ISPKind, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Seed = 7
+
+			cfgFull := cfg
+			cfgFull.FullEval = true
+			full := New(equivalenceEvaluator(t, tc.kind, tc.nodes, tc.links, 21), cfgFull).Run()
+
+			cfgInc := cfg
+			cfgInc.FullEval = false
+			inc := New(equivalenceEvaluator(t, tc.kind, tc.nodes, tc.links, 21), cfgInc).Run()
+
+			// Phase 1: same best weights, same cost, same pool.
+			if !full.Phase1.BestW.Equal(inc.Phase1.BestW) {
+				t.Error("phase 1 best weights differ")
+			}
+			if full.Phase1.Best.Cost != inc.Phase1.Best.Cost {
+				t.Errorf("phase 1 best cost %+v != %+v", full.Phase1.Best.Cost, inc.Phase1.Best.Cost)
+			}
+			if len(full.Phase1.Pool) != len(inc.Phase1.Pool) {
+				t.Fatalf("pool sizes differ: %d vs %d", len(full.Phase1.Pool), len(inc.Phase1.Pool))
+			}
+			for i := range full.Phase1.Pool {
+				if !full.Phase1.Pool[i].W.Equal(inc.Phase1.Pool[i].W) || full.Phase1.Pool[i].Normal != inc.Phase1.Pool[i].Normal {
+					t.Errorf("pool entry %d differs", i)
+				}
+			}
+			// Criticality artifacts: same samples, same critical set.
+			if full.Phase1.Sampler.Total() != inc.Phase1.Sampler.Total() {
+				t.Errorf("sample totals differ: %d vs %d", full.Phase1.Sampler.Total(), inc.Phase1.Sampler.Total())
+			}
+			if len(full.Critical) != len(inc.Critical) {
+				t.Fatalf("critical set sizes differ: %d vs %d", len(full.Critical), len(inc.Critical))
+			}
+			for i := range full.Critical {
+				if full.Critical[i] != inc.Critical[i] {
+					t.Errorf("critical link %d differs: %d vs %d", i, full.Critical[i], inc.Critical[i])
+				}
+			}
+			// Phase 2: same robust weights and costs.
+			if !full.Phase2.BestW.Equal(inc.Phase2.BestW) {
+				t.Error("phase 2 best weights differ")
+			}
+			if full.Phase2.FailCost != inc.Phase2.FailCost {
+				t.Errorf("phase 2 fail cost %+v != %+v", full.Phase2.FailCost, inc.Phase2.FailCost)
+			}
+			if full.Phase2.Normal.Cost != inc.Phase2.Normal.Cost {
+				t.Errorf("phase 2 normal cost %+v != %+v", full.Phase2.Normal.Cost, inc.Phase2.Normal.Cost)
+			}
+		})
+	}
+}
+
+// TestIncrementalMatchesFullEvalNodeObjective covers the node-failure
+// Phase 2 objective, where sessions carry skipNode semantics.
+func TestIncrementalMatchesFullEvalNodeObjective(t *testing.T) {
+	cfg := testConfig()
+	cfg.Seed = 11
+
+	cfgFull := cfg
+	cfgFull.FullEval = true
+	evFull := equivalenceEvaluator(t, topogen.RandKind, 8, 40, 31)
+	oFull := New(evFull, cfgFull)
+	p1Full := oFull.RunPhase1()
+	p2Full := oFull.RunPhase2(p1Full, AllNodeFailures(evFull))
+
+	cfgInc := cfg
+	cfgInc.FullEval = false
+	evInc := equivalenceEvaluator(t, topogen.RandKind, 8, 40, 31)
+	oInc := New(evInc, cfgInc)
+	p1Inc := oInc.RunPhase1()
+	p2Inc := oInc.RunPhase2(p1Inc, AllNodeFailures(evInc))
+
+	if !p2Full.BestW.Equal(p2Inc.BestW) {
+		t.Error("node-objective phase 2 weights differ")
+	}
+	if p2Full.FailCost != p2Inc.FailCost {
+		t.Errorf("node-objective fail cost %+v != %+v", p2Full.FailCost, p2Inc.FailCost)
+	}
+}

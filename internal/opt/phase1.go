@@ -130,10 +130,23 @@ func (o *Optimizer) RunPhase1() *Phase1Result {
 	rawSeen := 0
 	harvestRng := rand.New(rand.NewSource(cfg.Seed + 1))
 
+	// The search runs on an incremental Session by default: Apply
+	// re-evaluates only the destinations a move can affect, Revert undoes
+	// a rejected move exactly, and every result is bit-identical to the
+	// from-scratch path (cfg.FullEval), so both modes take the same
+	// decisions move for move.
+	var ses *routing.Session
+	if !cfg.FullEval {
+		ses = o.ev.NewSession(nil, -1)
+	}
 	w := routing.RandomWeightSetting(m, cfg.WMax, o.rng)
 	var cur, cand routing.Result
 	evals := 0
-	o.ev.EvaluateNormal(w, &cur)
+	if ses != nil {
+		cur = ses.Init(w)
+	} else {
+		o.ev.EvaluateNormal(w, &cur)
+	}
 	evals++
 	best := cur.Cost
 	bestW := w.Clone()
@@ -153,7 +166,11 @@ func (o *Optimizer) RunPhase1() *Phase1Result {
 			harvest := wd >= o.failLow && wt >= o.failLow && o.sampleGate(cur.Cost, best)
 			gate := cur.Cost
 			prevD, prevT := w.Set(l, wd, wt)
-			o.ev.EvaluateNormal(w, &cand)
+			if ses != nil {
+				cand = ses.Apply(l, wd, wt)
+			} else {
+				o.ev.EvaluateNormal(w, &cand)
+			}
 			evals++
 			if harvest {
 				s := rawSample{link: int32(l), c: cand.Cost, gate: gate}
@@ -176,6 +193,9 @@ func (o *Optimizer) RunPhase1() *Phase1Result {
 				}
 			} else {
 				w.Set(l, prevD, prevT)
+				if ses != nil {
+					ses.Revert()
+				}
 			}
 		}
 		if improved {
@@ -193,7 +213,11 @@ func (o *Optimizer) RunPhase1() *Phase1Result {
 			}
 			roundStartBest = best
 			w = routing.RandomWeightSetting(m, cfg.WMax, o.rng)
-			o.ev.EvaluateNormal(w, &cur)
+			if ses != nil {
+				cur = ses.Init(w)
+			} else {
+				o.ev.EvaluateNormal(w, &cur)
+			}
 			evals++
 			sinceImprove = 0
 		}

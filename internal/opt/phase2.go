@@ -94,12 +94,26 @@ type Phase2Result struct {
 	Stats     Stats
 }
 
+// phase2SessionBudgetBytes caps the memory the per-scenario session
+// caches of RunPhase2 may claim (estimated via Evaluator.SessionBytes).
+// Beyond it — very large topologies optimized against very large failure
+// sets — the search falls back to from-scratch sweeps, which produce
+// bit-identical results, just slower.
+const phase2SessionBudgetBytes = 1 << 30
+
 // RunPhase2 performs the robust optimization of Eq. (4) over the given
 // failure scenarios (normally the critical links from Phase 1c; the full
 // link set for a full search; or node failures). Starting from the
 // acceptable settings recorded in Phase 1, it locally searches for the
 // weight setting minimizing the compounded failure cost, subject to the
 // normal-conditions constraints: Λ_normal = Λ* and Φ_normal ≤ (1+χ)Φ*.
+//
+// By default the search is incremental: one Session per failure scenario
+// (plus one for normal conditions) caches that scenario's routing state,
+// so a move — and especially a rejected move — never re-evaluates
+// destinations or scenarios it cannot affect. Config.FullEval restores
+// the from-scratch sweeps; both modes visit the same moves on the same
+// RNG stream and return bit-identical results.
 func (o *Optimizer) RunPhase2(p1 *Phase1Result, fs FailureSet) *Phase2Result {
 	start := time.Now()
 	fs.validate()
@@ -113,6 +127,47 @@ func (o *Optimizer) RunPhase2(p1 *Phase1Result, fs FailureSet) *Phase2Result {
 		rs := EvaluateFailureSet(o.ev, w, fs)
 		evals += len(rs)
 		return fs.weightedCost(rs)
+	}
+
+	useSessions := !cfg.FullEval && int64(fs.Size()+1)*o.ev.SessionBytes() <= phase2SessionBudgetBytes
+	var nses *routing.Session
+	var fses []*routing.Session
+	var results []routing.Result
+	if useSessions {
+		nses = o.ev.NewSession(nil, -1)
+		fses = make([]*routing.Session, 0, fs.Size())
+		for _, l := range fs.Links {
+			fses = append(fses, o.ev.NewLinkFailureSession(l, fs.Both))
+		}
+		for _, v := range fs.Nodes {
+			fses = append(fses, o.ev.NewNodeFailureSession(v))
+		}
+		results = make([]routing.Result, len(fses))
+	}
+	// The scenario sessions are independent, so moves fan out across
+	// workers; each index owns its result slot, keeping the weighted sum
+	// deterministic.
+	initFail := func(w *routing.WeightSetting) cost.Cost {
+		if !useSessions {
+			return evalFail(w)
+		}
+		parallelWorkers(len(fses), func() func(i int) {
+			return func(i int) { results[i] = fses[i].Init(w) }
+		})
+		evals += len(fses)
+		return fs.weightedCost(results)
+	}
+	applyFail := func(l int, wd, wt int32) cost.Cost {
+		parallelWorkers(len(fses), func() func(i int) {
+			return func(i int) { results[i] = fses[i].Apply(l, wd, wt) }
+		})
+		evals += len(fses)
+		return fs.weightedCost(results)
+	}
+	revertFail := func() {
+		parallelWorkers(len(fses), func() func(i int) {
+			return func(i int) { fses[i].Revert() }
+		})
 	}
 
 	bestFail := cost.Cost{Lambda: math.Inf(1), Phi: math.Inf(1)}
@@ -132,7 +187,11 @@ func (o *Optimizer) RunPhase2(p1 *Phase1Result, fs FailureSet) *Phase2Result {
 			entry = p1.Pool[o.rng.Intn(len(p1.Pool))]
 		}
 		w.CopyFrom(entry.W)
-		curFail := evalFail(w)
+		if useSessions {
+			nses.Init(w)
+			evals++
+		}
+		curFail := initFail(w)
 		if curFail.Less(bestFail) {
 			bestFail = curFail
 			bestW = w.Clone()
@@ -147,13 +206,24 @@ func (o *Optimizer) RunPhase2(p1 *Phase1Result, fs FailureSet) *Phase2Result {
 				wd := int32(1 + o.rng.Intn(cfg.WMax))
 				wt := int32(1 + o.rng.Intn(cfg.WMax))
 				prevD, prevT := w.Set(l, wd, wt)
-				o.ev.EvaluateNormal(w, &cand)
+				if useSessions {
+					cand = nses.Apply(l, wd, wt)
+				} else {
+					o.ev.EvaluateNormal(w, &cand)
+				}
 				evals++
 				accepted := false
 				// Constraints first: never trade away normal-conditions
-				// delay performance; cap throughput degradation.
+				// delay performance; cap throughput degradation. The
+				// failure scenarios are only touched when they pass.
 				if cand.Cost.Lambda <= lambdaStar+1e-9 && cand.Cost.Phi <= phiBound+1e-12 {
-					if candFail := evalFail(w); candFail.Less(curFail) {
+					var candFail cost.Cost
+					if useSessions {
+						candFail = applyFail(l, wd, wt)
+					} else {
+						candFail = evalFail(w)
+					}
+					if candFail.Less(curFail) {
 						curFail = candFail
 						improved = true
 						accepted = true
@@ -165,10 +235,15 @@ func (o *Optimizer) RunPhase2(p1 *Phase1Result, fs FailureSet) *Phase2Result {
 								bestW.CopyFrom(w)
 							}
 						}
+					} else if useSessions {
+						revertFail()
 					}
 				}
 				if !accepted {
 					w.Set(l, prevD, prevT)
+					if useSessions {
+						nses.Revert()
+					}
 				}
 			}
 			if improved {

@@ -108,10 +108,12 @@ type scratch struct {
 	loadT     []float64
 	loadTot   []float64
 	linkDelay []float64
+	contrib   []float64 // one destination's per-link load shares
 	demCol    []float64
 	delays    []float64
 	utilDP    []float64
 	linkUtil  []float64
+	mask      *graph.Mask // pooled per-call failure mask
 }
 
 func (e *Evaluator) newScratch() *scratch {
@@ -123,10 +125,12 @@ func (e *Evaluator) newScratch() *scratch {
 		loadT:     make([]float64, m),
 		loadTot:   make([]float64, m),
 		linkDelay: make([]float64, m),
+		contrib:   make([]float64, m),
 		demCol:    make([]float64, n),
 		delays:    make([]float64, n),
 		utilDP:    make([]float64, n),
 		linkUtil:  make([]float64, m),
+		mask:      graph.NewMask(e.g),
 	}
 }
 
@@ -190,13 +194,13 @@ func (e *Evaluator) EvaluateNormal(w *WeightSetting, res *Result) {
 func (e *Evaluator) EvaluateLinkFailure(w *WeightSetting, li int, both bool, res *Result) {
 	sc := e.pool.Get().(*scratch)
 	defer e.pool.Put(sc)
-	mask := graph.NewMask(e.g) // small; per-call allocation is fine here
+	sc.mask.Reset()
 	if both {
-		mask.FailLinkBoth(li)
+		sc.mask.FailLinkBoth(li)
 	} else {
-		mask.FailLink(li)
+		sc.mask.FailLink(li)
 	}
-	e.evaluate(sc, w, mask, -1, e.demD, e.demT, res)
+	e.evaluate(sc, w, sc.mask, -1, e.demD, e.demT, res)
 }
 
 // EvaluateNodeFailure evaluates w with node v down and all traffic
@@ -204,14 +208,19 @@ func (e *Evaluator) EvaluateLinkFailure(w *WeightSetting, li int, both bool, res
 func (e *Evaluator) EvaluateNodeFailure(w *WeightSetting, v int, res *Result) {
 	sc := e.pool.Get().(*scratch)
 	defer e.pool.Put(sc)
-	mask := graph.NewMask(e.g)
-	mask.FailNode(v)
-	e.evaluate(sc, w, mask, v, e.demD, e.demT, res)
+	sc.mask.Reset()
+	sc.mask.FailNode(v)
+	e.evaluate(sc, w, sc.mask, v, e.demD, e.demT, res)
 }
 
+// The evaluation pipeline is deliberately split into three primitives —
+// per-destination routing (SPF + load contribution), the per-link
+// aggregate pass, and the per-destination Λ pass — shared verbatim with
+// the incremental Session (session.go). Both paths therefore accumulate
+// the same terms in the same order and produce bit-identical Results.
 func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, skipNode int, demD, demT *traffic.Matrix, res *Result) {
 	g := e.g
-	n, m := g.NumNodes(), g.NumLinks()
+	n := g.NumNodes()
 	clear(sc.loadD)
 	clear(sc.loadT)
 
@@ -227,47 +236,23 @@ func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, sk
 		// Delay class.
 		sc.ws.Run(g, w.Delay, t, mask)
 		sc.ws.Save(&sc.states[t])
-		demD.Column(t, sc.demCol)
-		if skipNode >= 0 {
-			sc.demCol[skipNode] = 0
-		}
-		sc.ws.AccumulateLoads(g, w.Delay, sc.demCol, mask, sc.loadD)
+		demandColumn(demD, t, skipNode, sc.demCol)
+		sc.ws.AccumulateLoadsInto(g, w.Delay, sc.demCol, mask, sc.contrib)
+		addLoads(sc.loadD, sc.contrib)
 		// Throughput class.
 		sc.ws.Run(g, w.Throughput, t, mask)
-		demT.Column(t, sc.demCol)
-		if skipNode >= 0 {
-			sc.demCol[skipNode] = 0
-		}
-		droppedT += sc.ws.AccumulateLoads(g, w.Throughput, sc.demCol, mask, sc.loadT)
+		demandColumn(demT, t, skipNode, sc.demCol)
+		droppedT += sc.ws.AccumulateLoadsInto(g, w.Throughput, sc.demCol, mask, sc.contrib)
+		addLoads(sc.loadT, sc.contrib)
 	}
 
 	// Total loads, link delays, utilizations, Φ.
-	var phi, maxUtil, sumUtil float64
-	alive := 0
-	for li := 0; li < m; li++ {
-		tot := sc.loadD[li] + sc.loadT[li]
-		sc.loadTot[li] = tot
-		l := g.Link(li)
-		sc.linkDelay[li] = e.params.LinkDelayMs(tot, l.Capacity, l.Delay)
-		if !mask.LinkAlive(li) {
-			sc.linkUtil[li] = 0
-			continue
-		}
-		util := tot / l.Capacity
-		sc.linkUtil[li] = util
-		alive++
-		sumUtil += util
-		if util > maxUtil {
-			maxUtil = util
-		}
-		if sc.loadT[li] > 0 {
-			phi += cost.FortzThorup(tot, l.Capacity)
-		}
-	}
+	phi, maxUtil, sumUtil, alive := e.linkPass(sc.loadD, sc.loadT, sc.loadTot, sc.linkDelay, sc.linkUtil, mask)
 	phi += droppedT * phiDropPenaltyPerMbps
 
 	// Pass 2: per-pair delays over the delay-class DAGs, Λ and SLA
-	// violations.
+	// violations, accumulated per destination (the grouping the Session
+	// caches).
 	var lambda float64
 	violations, disconnected := 0, 0
 	wantDetail := e.Detail
@@ -284,30 +269,14 @@ func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, sk
 			continue
 		}
 		sc.ws.Restore(&sc.states[t])
-		if e.metric == WorstPath {
-			sc.ws.WorstDelays(g, w.Delay, sc.linkDelay, mask, sc.delays)
-		} else {
-			sc.ws.MeanDelays(g, w.Delay, sc.linkDelay, mask, sc.delays)
+		var pairDelay []float64
+		if wantDetail {
+			pairDelay = res.PairDelay
 		}
-		for s := 0; s < n; s++ {
-			if s == t || s == skipNode || demD.At(s, t) == 0 {
-				continue
-			}
-			d := sc.delays[s]
-			if wantDetail {
-				res.PairDelay[s*n+t] = d
-			}
-			if d >= spf.InfDelay {
-				disconnected++
-				violations++
-				lambda += e.params.DropPenalty()
-				continue
-			}
-			if e.params.Violated(d) {
-				violations++
-				lambda += e.params.SLAPenalty(d)
-			}
-		}
+		lt, vt, dt := e.destLambda(sc.ws, w.Delay, sc.linkDelay, mask, skipNode, t, demD, sc.delays, pairDelay)
+		lambda += lt
+		violations += vt
+		disconnected += dt
 	}
 	if wantDetail {
 		e.fillPairMaxUtil(sc, w, mask, skipNode, demD, res)
@@ -323,6 +292,93 @@ func (e *Evaluator) evaluate(sc *scratch, w *WeightSetting, mask *graph.Mask, sk
 	} else {
 		res.AvgUtil = 0
 	}
+}
+
+// demandColumn fills col with the demand toward destination t, zeroing a
+// failed node's row.
+func demandColumn(dem *traffic.Matrix, t, skipNode int, col []float64) {
+	dem.Column(t, col)
+	if skipNode >= 0 {
+		col[skipNode] = 0
+	}
+}
+
+// addLoads folds one destination's per-link contribution into the running
+// class loads, link-index ascending — the exact order the Session uses
+// when re-summing cached contributions, so totals agree bit for bit.
+func addLoads(loads, contrib []float64) {
+	for li, f := range contrib {
+		loads[li] += f
+	}
+}
+
+// linkPass derives the per-link aggregates from the two class loads:
+// total loads, link delays, utilizations, the Fortz–Thorup Φ sum (the
+// drop penalty is the caller's concern) and the utilization summary.
+func (e *Evaluator) linkPass(loadD, loadT, loadTot, linkDelay, linkUtil []float64, mask *graph.Mask) (phi, maxUtil, sumUtil float64, alive int) {
+	g := e.g
+	for li := 0; li < g.NumLinks(); li++ {
+		tot := loadD[li] + loadT[li]
+		loadTot[li] = tot
+		l := g.Link(li)
+		linkDelay[li] = e.params.LinkDelayMs(tot, l.Capacity, l.Delay)
+		if !mask.LinkAlive(li) {
+			linkUtil[li] = 0
+			continue
+		}
+		util := tot / l.Capacity
+		linkUtil[li] = util
+		alive++
+		sumUtil += util
+		if util > maxUtil {
+			maxUtil = util
+		}
+		if loadT[li] > 0 {
+			phi += cost.FortzThorup(tot, l.Capacity)
+		}
+	}
+	return phi, maxUtil, sumUtil, alive
+}
+
+// destLambda computes destination t's Λ subtotal, SLA violation count and
+// disconnected-pair count off the workspace's restored delay-class SPF
+// state. pairDelay, when non-nil, receives the per-pair delays (Detail
+// mode).
+func (e *Evaluator) destLambda(ws *spf.Workspace, wDelay []int32, linkDelay []float64, mask *graph.Mask, skipNode, t int, demD *traffic.Matrix, delays, pairDelay []float64) (lambda float64, violations, disconnected int) {
+	if e.metric == WorstPath {
+		ws.WorstDelays(e.g, wDelay, linkDelay, mask, delays)
+	} else {
+		ws.MeanDelays(e.g, wDelay, linkDelay, mask, delays)
+	}
+	return e.lambdaFromDelays(delays, skipNode, t, demD, pairDelay)
+}
+
+// lambdaFromDelays folds one destination's per-source delays into its Λ
+// subtotal, violation and disconnection counts. Shared by the delay DP
+// of the stateless path and the Session's cached-DAG DP so both
+// accumulate identical terms in identical order.
+func (e *Evaluator) lambdaFromDelays(delays []float64, skipNode, t int, demD *traffic.Matrix, pairDelay []float64) (lambda float64, violations, disconnected int) {
+	n := e.g.NumNodes()
+	for s := 0; s < n; s++ {
+		if s == t || s == skipNode || demD.At(s, t) == 0 {
+			continue
+		}
+		d := delays[s]
+		if pairDelay != nil {
+			pairDelay[s*n+t] = d
+		}
+		if d >= spf.InfDelay {
+			disconnected++
+			violations++
+			lambda += e.params.DropPenalty()
+			continue
+		}
+		if e.params.Violated(d) {
+			violations++
+			lambda += e.params.SLAPenalty(d)
+		}
+	}
+	return lambda, violations, disconnected
 }
 
 // fillPairMaxUtil fills PairMaxUtil with a max-semiring DP: the largest

@@ -1,0 +1,183 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/topogen"
+	"repro/internal/traffic"
+)
+
+func sessionTestEvaluator(t testing.TB, kind topogen.Kind, nodes, links int, seed int64) *Evaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := topogen.Generate(topogen.Spec{Kind: kind, Nodes: nodes, DirectedLinks: links}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demD, demT := traffic.Gravity(g.NumNodes(), 1, 0.3, rng)
+	if _, err := ScaleToAvgUtil(g, demD, demT, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	return NewEvaluator(g, demD, demT, cost.DefaultParams(), WorstPath)
+}
+
+// requireSameResult asserts bit-identical aggregate results (Detail
+// fields excluded; sessions never fill them).
+func requireSameResult(t *testing.T, step string, got, want Result) {
+	t.Helper()
+	if got.Cost != want.Cost || got.PhiNorm != want.PhiNorm ||
+		got.Violations != want.Violations || got.Disconnected != want.Disconnected ||
+		got.MaxUtil != want.MaxUtil || got.AvgUtil != want.AvgUtil {
+		t.Fatalf("%s: session %+v != evaluator %+v", step, got, want)
+	}
+}
+
+// driveSession performs steps random Apply/Revert moves against one
+// scenario, checking every session result bit-for-bit against a
+// from-scratch evaluation of the same weights.
+func driveSession(t *testing.T, ev *Evaluator, s *Session, mask *graph.Mask, skipNode int, steps int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := ev.Graph().NumLinks()
+	w := RandomWeightSetting(m, 20, rng)
+	var want Result
+
+	check := func(step string) {
+		t.Helper()
+		ev.EvaluateDemands(w, mask, skipNode, nil, nil, &want)
+		requireSameResult(t, step, s.Result(), want)
+		if !s.Weights().Equal(w) {
+			t.Fatalf("%s: session weights diverged from reference", step)
+		}
+	}
+
+	s.Init(w)
+	check("init")
+	for i := 0; i < steps; i++ {
+		switch {
+		case rng.Float64() < 0.1:
+			// Occasional rebase, as a diversification restart would do.
+			w = RandomWeightSetting(m, 20, rng)
+			s.Init(w)
+			check("rebase")
+		default:
+			l := rng.Intn(m)
+			wd := int32(1 + rng.Intn(20))
+			wt := int32(1 + rng.Intn(20))
+			prevD, prevT := w.Set(l, wd, wt)
+			s.Apply(l, wd, wt)
+			check("apply")
+			if rng.Float64() < 0.5 {
+				w.Set(l, prevD, prevT)
+				s.Revert()
+				check("revert")
+			}
+		}
+	}
+}
+
+func TestSessionMatchesEvaluatorNormal(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 10, 50, 1)
+	driveSession(t, ev, ev.NewSession(nil, -1), nil, -1, 300, 42)
+}
+
+func TestSessionMatchesEvaluatorISP(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.ISPKind, 0, 0, 2)
+	driveSession(t, ev, ev.NewSession(nil, -1), nil, -1, 200, 43)
+}
+
+func TestSessionMatchesEvaluatorLinkFailure(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 10, 50, 3)
+	for _, li := range []int{0, 7, 23} {
+		s := ev.NewLinkFailureSession(li, false)
+		mask := graph.NewMask(ev.Graph())
+		mask.FailLink(li)
+		driveSession(t, ev, s, mask, -1, 120, int64(100+li))
+	}
+	// Physical (both-direction) failure.
+	s := ev.NewLinkFailureSession(4, true)
+	mask := graph.NewMask(ev.Graph())
+	mask.FailLinkBoth(4)
+	driveSession(t, ev, s, mask, -1, 120, 999)
+}
+
+func TestSessionMatchesEvaluatorNodeFailure(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 12, 60, 4)
+	for _, v := range []int{0, 5, 11} {
+		s := ev.NewNodeFailureSession(v)
+		mask := graph.NewMask(ev.Graph())
+		mask.FailNode(v)
+		driveSession(t, ev, s, mask, v, 120, int64(200+v))
+	}
+}
+
+// TestSessionDisconnectingScenario drives a session on a sparse ring-like
+// topology where single failures actually disconnect pairs, exercising
+// the drop-penalty and disconnected accounting.
+func TestSessionDisconnectingScenario(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(i, (i+1)%6, 200, 2)
+	}
+	b.AddEdge(0, 3, 200, 2)
+	g := b.MustBuild()
+	rng := rand.New(rand.NewSource(5))
+	demD, demT := traffic.Gravity(6, 1, 0.4, rng)
+	if _, err := ScaleToAvgUtil(g, demD, demT, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(g, demD, demT, cost.DefaultParams(), WorstPath)
+
+	mask := graph.NewMask(g)
+	mask.FailLinkBoth(0)
+	s := ev.NewSession(mask, -1)
+	mask2 := graph.NewMask(g)
+	mask2.FailLinkBoth(0)
+	driveSession(t, ev, s, mask2, -1, 150, 6)
+}
+
+func TestSessionRevertRequiresApply(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 8, 40, 7)
+	s := ev.NewSession(nil, -1)
+	s.Init(NewWeightSetting(ev.Graph().NumLinks()))
+	defer func() {
+		if recover() == nil {
+			t.Error("Revert without Apply should panic")
+		}
+	}()
+	s.Revert()
+}
+
+func TestSessionApplyRequiresInit(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 8, 40, 8)
+	s := ev.NewSession(nil, -1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply before Init should panic")
+		}
+	}()
+	s.Apply(0, 2, 2)
+}
+
+func TestSessionNoopApplyIsExact(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 10, 50, 9)
+	s := ev.NewSession(nil, -1)
+	rng := rand.New(rand.NewSource(10))
+	w := RandomWeightSetting(ev.Graph().NumLinks(), 20, rng)
+	before := s.Init(w)
+	// Re-applying the current weights is a no-op.
+	after := s.Apply(3, w.Delay[3], w.Throughput[3])
+	requireSameResult(t, "noop apply", after, before)
+	s.Revert()
+	requireSameResult(t, "revert after noop", s.Result(), before)
+}
+
+func TestSessionBytesPositive(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 8, 40, 11)
+	if ev.SessionBytes() <= 0 {
+		t.Error("SessionBytes must be positive")
+	}
+}

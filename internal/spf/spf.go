@@ -29,31 +29,51 @@ type heapEntry struct {
 }
 
 // Workspace holds all scratch state for the SPF routines. A Workspace is
-// bound to a graph size at creation and may be reused across destinations,
-// weight settings, and failure masks, but not across goroutines.
+// bound to the graph it was created for (it aliases the graph's shared
+// endpoint arrays; Run panics on any other graph) and may be reused
+// across destinations, weight settings, and failure masks, but not
+// across goroutines.
 type Workspace struct {
 	n int
+	g *graph.Graph
 
 	// Outputs of Run, valid until the next Run call.
 	dist  []int64 // distance from each node to the destination
 	order []int32 // settled nodes in ascending distance order
 	dest  int32
 
-	heap []heapEntry
-	flow []float64
-	val  []float64
+	heap   []heapEntry
+	flow   []float64
+	val    []float64
+	lflow  []float64
+	dagOut []int32 // scratch for one node's on-DAG out-links
+	// lfrom/lto alias the graph's shared endpoint arrays so hot
+	// DAG-membership tests avoid copying whole Link structs.
+	lfrom, lto []int32
 }
 
 // NewWorkspace returns a Workspace sized for g.
 func NewWorkspace(g *graph.Graph) *Workspace {
 	n := g.NumNodes()
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.OutDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	lfrom, lto := g.LinkEndpoints()
 	return &Workspace{
-		n:     n,
-		dist:  make([]int64, n),
-		order: make([]int32, 0, n),
-		heap:  make([]heapEntry, 0, n*2),
-		flow:  make([]float64, n),
-		val:   make([]float64, n),
+		n:      n,
+		g:      g,
+		dist:   make([]int64, n),
+		order:  make([]int32, 0, n),
+		heap:   make([]heapEntry, 0, n*2),
+		flow:   make([]float64, n),
+		val:    make([]float64, n),
+		lflow:  make([]float64, g.NumLinks()),
+		dagOut: make([]int32, maxDeg),
+		lfrom:  lfrom,
+		lto:    lto,
 	}
 }
 
@@ -68,6 +88,9 @@ func (ws *Workspace) Reached(v int) bool { return ws.dist[v] < Inf }
 // After Run, the workspace exposes distances, the settled order, and DAG
 // queries for this destination.
 func (ws *Workspace) Run(g *graph.Graph, w []int32, dest int, mask *graph.Mask) {
+	if g != ws.g {
+		panic("spf: Workspace used with a graph other than the one it was created for")
+	}
 	ws.dest = int32(dest)
 	for i := range ws.dist {
 		ws.dist[i] = Inf
@@ -117,6 +140,26 @@ func (ws *Workspace) OnDAG(g *graph.Graph, w []int32, li int, mask *graph.Mask) 
 //
 // dem is indexed by source node; dem[dest] is ignored.
 func (ws *Workspace) AccumulateLoads(g *graph.Graph, w []int32, dem []float64, mask *graph.Mask, loads []float64) (dropped float64) {
+	dropped = ws.AccumulateLoadsInto(g, w, dem, mask, ws.lflow)
+	for li, f := range ws.lflow {
+		loads[li] += f
+	}
+	return dropped
+}
+
+// AccumulateLoadsInto is AccumulateLoads writing this destination's
+// per-link traffic shares into contrib (length NumLinks, fully
+// overwritten) instead of adding them to a running total, so callers can
+// cache one destination's contribution and subtract or re-sum it later.
+//
+// The accumulation is pull-based: each node's through-flow is assembled
+// from its DAG in-links in adjacency order, so the result is a function of
+// the distances alone — it does not depend on the order in which Dijkstra
+// settled equal-distance nodes (no DAG edge connects distance ties). That
+// canonical form is what lets cached SPF snapshots (routing.Session) and
+// fresh runs produce bit-identical loads.
+func (ws *Workspace) AccumulateLoadsInto(g *graph.Graph, w []int32, dem []float64, mask *graph.Mask, contrib []float64) (dropped float64) {
+	clear(contrib)
 	for i := range ws.flow {
 		ws.flow[i] = 0
 	}
@@ -131,17 +174,23 @@ func (ws *Workspace) AccumulateLoads(g *graph.Graph, w []int32, dem []float64, m
 		ws.flow[u] = d
 	}
 	// DAG edges strictly decrease distance (weights are >= 1), so
-	// processing nodes in descending settled order pushes every node's
-	// flow before any of its DAG successors are read.
+	// processing nodes in descending settled order makes every DAG
+	// in-link's share final before its head node pulls it. Off-DAG
+	// in-links hold an exact 0.0 contribution, so no membership test is
+	// needed: adding them never changes the (non-negative) sum's bits.
 	for i := len(ws.order) - 1; i >= 0; i-- {
 		u := ws.order[i]
 		f := ws.flow[u]
+		for _, li := range g.InLinks(int(u)) {
+			f += contrib[li]
+		}
 		if f == 0 {
 			continue
 		}
 		k := 0
 		for _, li := range g.OutLinks(int(u)) {
 			if ws.onDAGFast(g, w, li, mask) {
+				ws.dagOut[k] = li
 				k++
 			}
 		}
@@ -149,23 +198,22 @@ func (ws *Workspace) AccumulateLoads(g *graph.Graph, w []int32, dem []float64, m
 			continue // u is the destination
 		}
 		share := f / float64(k)
-		for _, li := range g.OutLinks(int(u)) {
-			if ws.onDAGFast(g, w, li, mask) {
-				loads[li] += share
-				ws.flow[g.Link(int(li)).To] += share
-			}
+		for _, li := range ws.dagOut[:k] {
+			contrib[li] = share
 		}
 	}
 	return dropped
 }
 
+// onDAGFast is the hot-loop membership test. The distance checks run
+// first: most links fail them, and they are two array reads against the
+// mask's (potentially) three.
 func (ws *Workspace) onDAGFast(g *graph.Graph, w []int32, li int32, mask *graph.Mask) bool {
-	if !mask.LinkAlive(int(li)) {
+	dv := ws.dist[ws.lto[li]]
+	if dv >= Inf || ws.dist[ws.lfrom[li]] != dv+int64(w[li]) {
 		return false
 	}
-	l := g.Link(int(li))
-	dv := ws.dist[l.To]
-	return dv < Inf && ws.dist[l.From] == dv+int64(w[li])
+	return mask.LinkAlive(int(li))
 }
 
 // WorstDelays computes, for every source node, the largest total link
@@ -322,12 +370,104 @@ func (ws *Workspace) Save(s *State) {
 	s.Dest = ws.dest
 }
 
+// CopyFrom overwrites s with src, reusing s's backing arrays.
+func (s *State) CopyFrom(src *State) {
+	s.Dist = append(s.Dist[:0], src.Dist...)
+	s.Order = append(s.Order[:0], src.Order...)
+	s.Dest = src.Dest
+}
+
 // Restore loads a snapshot back into the workspace, as if Run had just
 // computed it.
 func (ws *Workspace) Restore(s *State) {
 	ws.dist = append(ws.dist[:0], s.Dist...)
 	ws.order = append(ws.order[:0], s.Order...)
 	ws.dest = s.Dest
+}
+
+// Affect classifies how a single-link weight change touches one
+// destination's cached shortest-path state. It is the decision at the
+// heart of incremental evaluation; Classify is its single
+// implementation.
+type Affect int
+
+const (
+	// AffectNone: distances and DAG membership are both provably
+	// unchanged — the snapshot, its loads and its path delays all stay
+	// valid.
+	AffectNone Affect = iota
+	// AffectJoinDAG: distances are provably unchanged, but the link now
+	// ties the best distance through it and joins the ECMP DAG, changing
+	// load splits and path-delay sets. The snapshot's distances stay
+	// valid; only DAG-derived state must refresh.
+	AffectJoinDAG
+	// AffectLeaveDAG: the link was on the DAG and its weight increased.
+	// Distances are unchanged — and the change is membership-only — iff
+	// the link's tail keeps at least one other tight (on-DAG) successor,
+	// which callers check in O(degree) (or O(1) with a cached
+	// adjacency); otherwise the tail's distance grows and a fresh run is
+	// required.
+	AffectLeaveDAG
+	// AffectFull: distances can change; the destination needs a fresh
+	// Dijkstra.
+	AffectFull
+)
+
+// Classify reports how changing link li's weight from oldW to newW
+// touches this snapshot, in O(1):
+//
+//   - Dead links (or a dead destination: all-Inf distances) never
+//     matter.
+//   - A weight decrease matters iff the link now ties or beats the best
+//     known distance through it: newW+dist(To) <= dist(From); the tie
+//     is AffectJoinDAG, the strict improvement AffectFull.
+//   - A weight increase matters iff the link was on the DAG:
+//     dist(From) == oldW+dist(To) (Dijkstra's triangle inequality rules
+//     out dist(From) exceeding that, so a non-DAG link only gets less
+//     attractive); that case is AffectLeaveDAG, refined by the caller.
+func (s *State) Classify(g *graph.Graph, li int, oldW, newW int32, mask *graph.Mask) Affect {
+	if oldW == newW || !mask.LinkAlive(li) {
+		return AffectNone
+	}
+	l := g.Link(li)
+	dv := s.Dist[l.To]
+	if dv >= Inf {
+		return AffectNone // the link can never lead to this destination
+	}
+	du := s.Dist[l.From]
+	if newW < oldW {
+		switch nd := int64(newW) + dv; {
+		case nd > du:
+			return AffectNone
+		case nd == du:
+			return AffectJoinDAG
+		default:
+			return AffectFull
+		}
+	}
+	if du != int64(oldW)+dv {
+		return AffectNone
+	}
+	return AffectLeaveDAG
+}
+
+// AffectedBy reports whether this destination's shortest-path structure
+// (distances or ECMP DAG membership) can change at all when link li's
+// weight moves from oldW to newW: any non-AffectNone classification.
+func (s *State) AffectedBy(g *graph.Graph, li int, oldW, newW int32, mask *graph.Mask) bool {
+	return s.Classify(g, li, oldW, newW, mask) != AffectNone
+}
+
+// LinkOnDAG is the snapshot analogue of Workspace.OnDAG: whether link li
+// (with weight wli) lies on a shortest path toward the snapshot's
+// destination.
+func (s *State) LinkOnDAG(g *graph.Graph, wli int32, li int, mask *graph.Mask) bool {
+	if !mask.LinkAlive(li) {
+		return false
+	}
+	l := g.Link(li)
+	dv := s.Dist[l.To]
+	return dv < Inf && s.Dist[l.From] == dv+int64(wli)
 }
 
 // Binary heap with lazy deletion.

@@ -319,6 +319,28 @@ type OptimizeOptions struct {
 	Seed int64
 }
 
+// SearchStats summarizes the work one optimization phase performed. The
+// evaluation throughput is the headline number the incremental delta-SPF
+// engine moves; it is reported by cmd/dtropt and the savings experiment
+// so speedups stay visible in every run's output.
+type SearchStats struct {
+	// Iterations counts full passes over all links; Evaluations the
+	// single-scenario network evaluations performed.
+	Iterations, Evaluations int
+	// Seconds is the phase's wall time; EvalsPerSec its evaluation
+	// throughput.
+	Seconds, EvalsPerSec float64
+}
+
+func toSearchStats(s opt.Stats) SearchStats {
+	return SearchStats{
+		Iterations:  s.Iterations,
+		Evaluations: s.Evaluations,
+		Seconds:     s.Duration.Seconds(),
+		EvalsPerSec: s.EvalsPerSec(),
+	}
+}
+
 // OptimizeResult carries both solutions and the critical-link artifacts.
 type OptimizeResult struct {
 	// Regular optimizes normal conditions only (Phase 1); Robust also
@@ -330,6 +352,9 @@ type OptimizeResult struct {
 	CriticalityLambda, CriticalityPhi []float64
 	// Converged reports whether the criticality rankings stabilized.
 	Converged bool
+	// Phase1Stats covers the regular search including criticality
+	// sampling; Phase2Stats the robust search.
+	Phase1Stats, Phase2Stats SearchStats
 }
 
 // Optimize runs the paper's pipeline on the network and returns the
@@ -396,6 +421,8 @@ func (n *Network) Optimize(opts OptimizeOptions) (*OptimizeResult, error) {
 		p2 = o.RunPhase2(p1, opt.FailureSet{Links: res.CriticalLinks})
 	}
 	res.Robust = &Routing{w: p2.BestW, net: n}
+	res.Phase1Stats = toSearchStats(p1.Stats)
+	res.Phase2Stats = toSearchStats(p2.Stats)
 	return res, nil
 }
 

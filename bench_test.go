@@ -11,8 +11,10 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/cost"
+	"repro/internal/ctrl"
 	"repro/internal/experiments"
 	"repro/internal/opt"
 	"repro/internal/routing"
@@ -298,3 +300,45 @@ func benchPhase1ISP(b *testing.B, fullEval bool) {
 func BenchmarkPhase1Full(b *testing.B) { benchPhase1ISP(b, true) }
 
 func BenchmarkPhase1Incremental(b *testing.B) { benchPhase1ISP(b, false) }
+
+// BenchmarkSelectorAdvise measures the control plane's event-to-advice
+// pipeline on a library of 8 configurations over the Table III 100-node
+// RandTopo: one link-down event, an advice scan, and the recovering
+// link-up event. Every event incrementally re-scores all 8 candidate
+// sessions; the metric events_per_sec is the telemetry throughput one
+// selector sustains.
+func BenchmarkSelectorAdvise(b *testing.B) {
+	ev, _ := benchEvaluator(b, 100, 500)
+	rng := rand.New(rand.NewSource(2))
+	ws := make([]*routing.WeightSetting, 8)
+	for i := range ws {
+		ws[i] = routing.RandomWeightSetting(ev.Graph().NumLinks(), 20, rng)
+	}
+	lib, err := ctrl.FromWeightSettings(ev, nil, ws, scenario.Set{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel, err := ctrl.NewSelector(ev, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ev.Graph().NumLinks()
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		li := i % m
+		if err := sel.Observe(scenario.Event{Kind: scenario.EventLinkDown, Link: li}); err != nil {
+			b.Fatal(err)
+		}
+		if best, _ := sel.Advise(); best < 0 || best >= 8 {
+			b.Fatal("bad advice")
+		}
+		if err := sel.Observe(scenario.Event{Kind: scenario.EventLinkUp, Link: li}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if d := time.Since(start).Seconds(); d > 0 {
+		b.ReportMetric(float64(2*b.N)/d, "events_per_sec")
+	}
+}

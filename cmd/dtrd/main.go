@@ -1,0 +1,191 @@
+// Command dtrd is the long-running control-plane daemon of the routing
+// system: it loads (or builds) a configuration library, tracks network
+// conditions through telemetry events, and serves advice, bounded-change
+// migration plans, and Prometheus-style metrics over HTTP/JSON.
+//
+// Usage:
+//
+//	dtrd -topology rand -nodes 30 -links 180 -build 4 -listen :8484
+//	dtrd -topology isp -weights a.json,b.json -listen :8484
+//	dtrd -topology rand -nodes 20 -links 100 -build 3 -replay   # replay a failure+surge day, print decisions, exit
+//
+// Endpoints: GET /state /advise /config /metrics /healthz,
+// POST /observe {"kind":"link-down","link":3}, POST /plan and /apply
+// {"target":1,"max_changes":4}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	topology := flag.String("topology", "rand", "topology family: rand|near|pl|isp")
+	nodes := flag.Int("nodes", 20, "node count (synthetic topologies)")
+	links := flag.Int("links", 100, "directed link count (rand/near)")
+	theta := flag.Float64("sla", 25, "SLA delay bound in ms")
+	avgUtil := flag.Float64("avgutil", 0, "scale traffic to this average utilization")
+	seed := flag.Int64("seed", 1, "random seed (network, scenarios, library build)")
+
+	library := flag.String("library", "", "load a library saved with -library-out")
+	libraryOut := flag.String("library-out", "", "write the library as JSON after building")
+	weights := flag.String("weights", "", "comma-separated dtropt -weights-out files to serve as the library")
+	build := flag.Int("build", 3, "build a library of this many configurations from the scenario day")
+	budget := flag.String("budget", "quick", "library build budget: quick|std|paper")
+
+	dual := flag.Int("dual", 6, "dual-link failure scenarios in the scenario day")
+	surges := flag.Int("surges", 3, "hot-spot surge scenarios in the scenario day")
+	maxChanges := flag.Int("max-changes", 5, "weight-change budget per migration stage in replay mode")
+
+	listen := flag.String("listen", "", "HTTP listen address (e.g. :8484); empty with -replay exits after the replay")
+	replay := flag.Bool("replay", false, "replay the scenario day as telemetry before serving")
+	flag.Parse()
+
+	net, err := repro.NewNetwork(repro.NetworkSpec{
+		Topology:   *topology,
+		Nodes:      *nodes,
+		Links:      *links,
+		SLABoundMs: *theta,
+		AvgUtil:    *avgUtil,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dtrd: network %s [%d nodes, %d links], SLA bound %gms\n",
+		*topology, net.Nodes(), net.Links(), net.SLABoundMs())
+
+	// The scenario day: single-link failures, sampled dual-link outages,
+	// hot-spot surges. It seeds both the library build and replay mode.
+	day, err := net.MergeScenarios("day",
+		net.SingleLinkFailureScenarios(),
+		net.DualLinkFailureScenarios(*dual, *seed+1),
+		net.HotspotSurgeScenarios(true, *surges, *seed+2))
+	if err != nil {
+		fatal(err)
+	}
+
+	var lib *repro.Library
+	switch {
+	case *library != "":
+		data, err := os.ReadFile(*library)
+		if err != nil {
+			fatal(err)
+		}
+		if lib, err = net.LibraryFromJSON(data); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dtrd: loaded library %s (%d configurations)\n", *library, lib.Size())
+	case *weights != "":
+		files := strings.Split(*weights, ",")
+		routings := make([]*repro.Routing, len(files))
+		for i, f := range files {
+			files[i] = strings.TrimSpace(f)
+			data, err := os.ReadFile(files[i])
+			if err != nil {
+				fatal(err)
+			}
+			if routings[i], err = net.RoutingFromJSON(data); err != nil {
+				fatal(fmt.Errorf("%s: %w", files[i], err))
+			}
+		}
+		if lib, err = net.LibraryFromRoutings(files, routings...); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dtrd: serving %d imported configurations\n", lib.Size())
+	default:
+		start := time.Now()
+		fmt.Printf("dtrd: building a %d-configuration library over %d scenarios (budget %s)...\n",
+			*build, day.Size(), *budget)
+		if lib, err = net.BuildLibrary(day, repro.LibraryOptions{Size: *build, Budget: *budget, Seed: *seed}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dtrd: library ready in %s: %v\n", time.Since(start).Round(time.Millisecond), lib.Names())
+	}
+	if *libraryOut != "" {
+		data, err := json.Marshal(lib)
+		if err == nil {
+			err = os.WriteFile(*libraryOut, data, 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dtrd: library written to %s\n", *libraryOut)
+	}
+
+	ctrl, err := net.NewController(lib)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *replay {
+		replayDay(ctrl, day, *maxChanges)
+	}
+
+	if *listen == "" {
+		if !*replay {
+			fmt.Println("dtrd: nothing to do (no -listen, no -replay)")
+		}
+		return
+	}
+	srv := newServer(net, lib, ctrl)
+	fmt.Printf("dtrd: listening on %s\n", *listen)
+	if err := http.ListenAndServe(*listen, srv.mux()); err != nil {
+		fatal(err)
+	}
+}
+
+// replayDay drives the controller through every episode of the day:
+// onset telemetry, advice, bounded-change migration when a switch pays,
+// recovery telemetry.
+func replayDay(ctrl *repro.Controller, day *repro.ScenarioSet, maxChanges int) {
+	names := day.ScenarioNames()
+	switches, stages, rewrites := 0, 0, 0
+	start := time.Now()
+	for i := 0; i < day.Size(); i++ {
+		if err := ctrl.ReplayEpisode(day, i, true); err != nil {
+			fatal(err)
+		}
+		adv := ctrl.Advise()
+		line := fmt.Sprintf("  %-28s -> %s (violations=%d maxutil=%.2f)",
+			names[i], adv.Name, adv.SLAViolations, adv.MaxUtilization)
+		if adv.ShouldSwitch {
+			switches++
+			for {
+				plan, err := ctrl.Plan(adv.Config, maxChanges)
+				if err != nil {
+					fatal(err)
+				}
+				if err := ctrl.Apply(plan); err != nil {
+					fatal(err)
+				}
+				stages++
+				rewrites += len(plan.Steps)
+				line += fmt.Sprintf(" [stage: %d changes, viol %d->%d]",
+					len(plan.Steps), plan.Start.SLAViolations, plan.Final.SLAViolations)
+				if plan.Complete || len(plan.Steps) == 0 {
+					break
+				}
+			}
+		}
+		fmt.Println(line)
+		if err := ctrl.ReplayEpisode(day, i, false); err != nil {
+			fatal(err)
+		}
+	}
+	st := ctrl.State()
+	fmt.Printf("dtrd: replayed %d episodes in %s: %d switches, %d migration stages, %d weight rewrites, %d events\n",
+		day.Size(), time.Since(start).Round(time.Millisecond), switches, stages, rewrites, st.Events)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtrd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// server wraps one Controller behind an HTTP/JSON API. The controller
+// is internally synchronized; the server adds its own counters for the
+// metrics endpoint.
+type server struct {
+	net   *repro.Network
+	lib   *repro.Library
+	ctrl  *repro.Controller
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]int64
+	applied  int64
+}
+
+func newServer(net *repro.Network, lib *repro.Library, ctrl *repro.Controller) *server {
+	return &server{
+		net:      net,
+		lib:      lib,
+		ctrl:     ctrl,
+		start:    time.Now(),
+		requests: make(map[string]int64),
+	}
+}
+
+// mux returns the daemon's route table.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.count(s.handleHealthz))
+	mux.HandleFunc("GET /state", s.count(s.handleState))
+	mux.HandleFunc("GET /config", s.count(s.handleConfig))
+	mux.HandleFunc("GET /advise", s.count(s.handleAdvise))
+	mux.HandleFunc("POST /observe", s.count(s.handleObserve))
+	mux.HandleFunc("POST /plan", s.count(s.handlePlan))
+	mux.HandleFunc("POST /apply", s.count(s.handleApply))
+	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
+	return mux
+}
+
+func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.requests[r.URL.Path]++
+		s.mu.Unlock()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ctrl.State())
+}
+
+func (s *server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"nodes":        s.net.Nodes(),
+		"links":        s.net.Links(),
+		"sla_bound_ms": s.net.SLABoundMs(),
+		"configs":      s.lib.Names(),
+	})
+}
+
+func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ctrl.Advise())
+}
+
+func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var e repro.ControlEvent
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode event: %w", err))
+		return
+	}
+	if err := s.ctrl.Observe(e); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+type planRequest struct {
+	Target     int `json:"target"`
+	MaxChanges int `json:"max_changes"`
+}
+
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode plan request: %w", err))
+		return
+	}
+	plan, err := s.ctrl.Plan(req.Target, req.MaxChanges)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, plan)
+}
+
+func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode apply request: %w", err))
+		return
+	}
+	plan, err := s.ctrl.Plan(req.Target, req.MaxChanges)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.ctrl.Apply(plan); err != nil {
+		// The only failure here is a lost race: another apply changed
+		// the deployed weights between this handler's plan and commit.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	s.mu.Lock()
+	s.applied += int64(len(plan.Steps))
+	s.mu.Unlock()
+	writeJSON(w, plan)
+}
+
+// handleMetrics exposes Prometheus-style text metrics.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.ctrl.State()
+	s.mu.Lock()
+	applied := s.applied
+	paths := make([]string, 0, len(s.requests))
+	for p := range s.requests {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	counts := make([]int64, len(paths))
+	for i, p := range paths {
+		counts[i] = s.requests[p]
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP dtrd_uptime_seconds Daemon uptime.\n# TYPE dtrd_uptime_seconds gauge\ndtrd_uptime_seconds %g\n",
+		time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "# HELP dtrd_events_total Telemetry events consumed.\n# TYPE dtrd_events_total counter\ndtrd_events_total %d\n", st.Events)
+	fmt.Fprintf(w, "# HELP dtrd_weight_changes_applied_total Link weight rewrites applied via /apply.\n# TYPE dtrd_weight_changes_applied_total counter\ndtrd_weight_changes_applied_total %d\n", applied)
+	fmt.Fprintf(w, "# HELP dtrd_active_config Index of the deployed configuration (-1 mid-migration).\n# TYPE dtrd_active_config gauge\ndtrd_active_config %d\n", st.Active)
+	fmt.Fprintf(w, "# HELP dtrd_down_links Links currently observed down.\n# TYPE dtrd_down_links gauge\ndtrd_down_links %d\n", len(st.DownLinks))
+	fmt.Fprintf(w, "# HELP dtrd_deployed_sla_violations SLA violations of the deployed routing under current conditions.\n# TYPE dtrd_deployed_sla_violations gauge\ndtrd_deployed_sla_violations %d\n", st.Deployed.SLAViolations)
+	fmt.Fprintf(w, "# HELP dtrd_deployed_max_utilization Peak link utilization of the deployed routing.\n# TYPE dtrd_deployed_max_utilization gauge\ndtrd_deployed_max_utilization %g\n", st.Deployed.MaxUtilization)
+	fmt.Fprintf(w, "# HELP dtrd_config_sla_violations Per-configuration SLA violations under current conditions.\n# TYPE dtrd_config_sla_violations gauge\n")
+	for _, c := range st.Configs {
+		fmt.Fprintf(w, "dtrd_config_sla_violations{config=%q} %d\n", c.Name, c.SLAViolations)
+	}
+	fmt.Fprintf(w, "# HELP dtrd_http_requests_total HTTP requests served.\n# TYPE dtrd_http_requests_total counter\n")
+	for i, p := range paths {
+		fmt.Fprintf(w, "dtrd_http_requests_total{path=%q} %d\n", p, counts[i])
+	}
+}

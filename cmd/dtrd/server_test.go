@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *repro.Library) {
+	t.Helper()
+	net, err := repro.NewNetwork(repro.NetworkSpec{Topology: "rand", Nodes: 8, Links: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := net.MergeScenarios("day",
+		net.DualLinkFailureScenarios(4, 5),
+		net.HotspotSurgeScenarios(true, 2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := net.BuildLibrary(set, repro.LibraryOptions{Size: 2, Budget: "quick", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := net.NewController(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(net, lib, ctrl).mux())
+	t.Cleanup(ts.Close)
+	return ts, lib
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerEndpoints(t *testing.T) {
+	ts, lib := testServer(t)
+
+	var health map[string]string
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz %v", health)
+	}
+
+	var cfg struct {
+		Nodes   int      `json:"nodes"`
+		Links   int      `json:"links"`
+		Configs []string `json:"configs"`
+	}
+	getJSON(t, ts.URL+"/config", &cfg)
+	if cfg.Nodes != 8 || cfg.Links != 32 || len(cfg.Configs) != lib.Size() {
+		t.Fatalf("config %+v", cfg)
+	}
+
+	// Observe a failure; state must reflect it.
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 3}, nil); code != http.StatusOK {
+		t.Fatalf("observe returned %d", code)
+	}
+	var st repro.ControllerState
+	getJSON(t, ts.URL+"/state", &st)
+	if len(st.DownLinks) != 1 || st.DownLinks[0] != 3 {
+		t.Fatalf("state after link-down: %+v", st)
+	}
+
+	var adv repro.Advice
+	getJSON(t, ts.URL+"/advise", &adv)
+	if adv.Config < 0 || adv.Config >= lib.Size() {
+		t.Fatalf("advice %+v", adv)
+	}
+
+	var plan repro.MigrationPlan
+	if code := postJSON(t, ts.URL+"/plan", map[string]int{"target": adv.Config, "max_changes": 2}, &plan); code != http.StatusOK {
+		t.Fatalf("plan returned %d", code)
+	}
+	if len(plan.Steps) > 2 {
+		t.Fatalf("plan exceeded budget: %d steps", len(plan.Steps))
+	}
+	if code := postJSON(t, ts.URL+"/apply", map[string]int{"target": adv.Config, "max_changes": 2}, &plan); code != http.StatusOK {
+		t.Fatalf("apply returned %d", code)
+	}
+
+	// Recover and check metrics exposition.
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-up", Link: 3}, nil); code != http.StatusOK {
+		t.Fatalf("observe link-up returned %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		"dtrd_events_total 2",
+		"dtrd_down_links 0",
+		"dtrd_config_sla_violations{config=",
+		`dtrd_http_requests_total{path="/observe"} 2`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Error paths surface as 400s.
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "nope"}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad event kind returned %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/plan", map[string]int{"target": 99}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad plan target returned %d", code)
+	}
+}
+
+// TestServerConcurrentRequests hammers every endpoint from many
+// goroutines; run under -race (CI does) this is the daemon's
+// concurrency acceptance test.
+func TestServerConcurrentRequests(t *testing.T) {
+	ts, lib := testServer(t)
+	const workers = 8
+	const iters = 12
+
+	get := func(url string, out any) error {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+		}
+		if out == nil {
+			_, err = io.Copy(io.Discard, resp.Body)
+			return err
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	post := func(url string, body, out any) error {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: %d", url, resp.StatusCode)
+		}
+		if out == nil {
+			_, err = io.Copy(io.Discard, resp.Body)
+			return err
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	errs := make(chan error, workers*iters*2)
+	for k := 0; k < workers; k++ {
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				link := (k*iters + i) % 32
+				kind := "link-down"
+				if i%2 == 1 {
+					kind = "link-up"
+				}
+				if err := post(ts.URL+"/observe", repro.ControlEvent{Kind: kind, Link: link}, nil); err != nil {
+					errs <- err
+					continue
+				}
+				var adv repro.Advice
+				if err := get(ts.URL+"/advise", &adv); err != nil {
+					errs <- err
+					continue
+				}
+				if adv.Config < 0 || adv.Config >= lib.Size() {
+					errs <- fmt.Errorf("advice config %d", adv.Config)
+				}
+				switch i % 3 {
+				case 0:
+					var st repro.ControllerState
+					if err := get(ts.URL+"/state", &st); err != nil {
+						errs <- err
+					}
+				case 1:
+					var plan repro.MigrationPlan
+					if err := post(ts.URL+"/plan", map[string]int{"target": adv.Config, "max_changes": 3}, &plan); err != nil {
+						errs <- err
+					} else if len(plan.Steps) > 3 {
+						errs <- fmt.Errorf("plan steps %d", len(plan.Steps))
+					}
+				case 2:
+					if err := get(ts.URL+"/metrics", nil); err != nil {
+						errs <- err
+					}
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

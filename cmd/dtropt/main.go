@@ -7,8 +7,10 @@
 //
 //	dtropt -topology rand -nodes 30 -links 180 -avgutil 0.43 -budget std
 //	dtropt -topology isp -maxutil 0.74 -budget quick
-//	dtropt -topology isp -save robust.json          # store the solution
-//	dtropt -topology isp -load robust.json          # re-evaluate it later
+//	dtropt -topology isp -weights-out robust.json   # store the solution (feed to dtrd -weights)
+//	dtropt -topology isp -weights-in robust.json    # re-evaluate it later
+//
+// -save and -load are kept as aliases of -weights-out and -weights-in.
 package main
 
 import (
@@ -32,9 +34,17 @@ func main() {
 	budget := flag.String("budget", "std", "search budget: quick|std|paper")
 	frac := flag.Float64("critfrac", 0.15, "critical set size |Ec|/|E|")
 	seed := flag.Int64("seed", 1, "random seed")
-	save := flag.String("save", "", "write the robust routing to this file as JSON")
-	load := flag.String("load", "", "skip optimization; evaluate the routing stored in this file")
+	save := flag.String("save", "", "alias of -weights-out")
+	load := flag.String("load", "", "alias of -weights-in")
+	weightsOut := flag.String("weights-out", "", "write the robust routing to this file as JSON (the format dtrd -weights and Network.RoutingFromJSON consume)")
+	weightsIn := flag.String("weights-in", "", "skip optimization; evaluate the routing stored in this file")
 	flag.Parse()
+	if *weightsOut == "" {
+		weightsOut = save
+	}
+	if *weightsIn == "" {
+		weightsIn = load
+	}
 
 	net, err := repro.NewNetwork(repro.NetworkSpec{
 		Topology:     *topology,
@@ -53,8 +63,8 @@ func main() {
 	fmt.Printf("network: %s [%d nodes, %d links], SLA bound %gms\n",
 		*topology, net.Nodes(), net.Links(), net.SLABoundMs())
 
-	if *load != "" {
-		data, err := os.ReadFile(*load)
+	if *weightsIn != "" {
+		data, err := os.ReadFile(*weightsIn)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dtropt:", err)
 			os.Exit(1)
@@ -66,7 +76,7 @@ func main() {
 		}
 		normal := r.Evaluate()
 		failures := r.EvaluateAllLinkFailures()
-		fmt.Printf("loaded routing (%s):\n", *load)
+		fmt.Printf("loaded routing (%s):\n", *weightsIn)
 		fmt.Printf("  normal:   violations=%d  lambda=%.1f  phi=%.4g  util avg/max=%.2f/%.2f\n",
 			normal.SLAViolations, normal.DelayCost, normal.ThroughputCost,
 			normal.AvgUtilization, normal.MaxUtilization)
@@ -101,16 +111,16 @@ func main() {
 	printSolution("regular (phase 1)", res.Regular)
 	printSolution("robust  (phase 2)", res.Robust)
 
-	if *save != "" {
+	if *weightsOut != "" {
 		data, err := json.Marshal(res.Robust)
 		if err == nil {
-			err = os.WriteFile(*save, data, 0o644)
+			err = os.WriteFile(*weightsOut, data, 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dtropt:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("robust routing written to %s\n\n", *save)
+		fmt.Printf("robust routing written to %s\n\n", *weightsOut)
 	}
 
 	fmt.Printf("critical links (|Ec|=%d, |Ec|/|E|=%.2f):\n", len(res.CriticalLinks), float64(len(res.CriticalLinks))/float64(net.Links()))

@@ -1,0 +1,422 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ctrl"
+	"repro/internal/routing"
+	"repro/internal/scenario"
+)
+
+// Library is a set of precomputed routing configurations covering a
+// scenario space, bound to the network it was built for. Build one with
+// Network.BuildLibrary (scenario clustering + per-cluster robust
+// optimization), assemble one from saved routings with
+// Network.LibraryFromRoutings, or reload one with
+// Network.LibraryFromJSON.
+type Library struct {
+	lib *ctrl.Library
+	net *Network
+}
+
+// Size returns the number of configurations.
+func (l *Library) Size() int { return l.lib.Size() }
+
+// Names lists the configuration names in index order.
+func (l *Library) Names() []string {
+	names := make([]string, l.lib.Size())
+	for i, e := range l.lib.Entries {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Routing returns configuration i as a Routing bound to the library's
+// network (a copy; mutating it never touches the library).
+func (l *Library) Routing(i int) (*Routing, error) {
+	if i < 0 || i >= l.lib.Size() {
+		return nil, fmt.Errorf("repro: configuration %d out of range [0,%d)", i, l.lib.Size())
+	}
+	return &Routing{w: l.lib.Entries[i].W.Clone(), net: l.net}, nil
+}
+
+// MarshalJSON encodes the library (weights via the routing codec), so
+// it can be stored and reloaded with Network.LibraryFromJSON.
+func (l *Library) MarshalJSON() ([]byte, error) { return l.lib.MarshalJSON() }
+
+// LibraryFromJSON decodes a library saved with MarshalJSON and binds it
+// to this network. Link counts must match.
+func (n *Network) LibraryFromJSON(data []byte) (*Library, error) {
+	var lib ctrl.Library
+	if err := lib.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	if lib.Links() != n.g.NumLinks() {
+		return nil, fmt.Errorf("repro: library covers %d links, network has %d", lib.Links(), n.g.NumLinks())
+	}
+	return &Library{lib: &lib, net: n}, nil
+}
+
+// LibraryFromRoutings assembles a library from already-optimized
+// routings (e.g. dtropt -weights-out files), without scenario
+// clustering or fingerprints. names may be nil.
+func (n *Network) LibraryFromRoutings(names []string, routings ...*Routing) (*Library, error) {
+	ws := make([]*routing.WeightSetting, len(routings))
+	for i, r := range routings {
+		if r == nil {
+			return nil, fmt.Errorf("repro: nil routing at position %d", i)
+		}
+		ws[i] = r.w
+	}
+	lib, err := ctrl.FromWeightSettings(n.ev, names, ws, scenario.Set{})
+	if err != nil {
+		return nil, err
+	}
+	return &Library{lib: lib, net: n}, nil
+}
+
+// LibraryOptions controls Network.BuildLibrary.
+type LibraryOptions struct {
+	// Size is the target number of configurations (default 4); the
+	// library may come out smaller when the scenario space has fewer
+	// distinct behaviours.
+	Size int
+	// Budget selects the per-cluster search effort: "quick", "std"
+	// (default) or "paper", as in OptimizeOptions.
+	Budget string
+	// SessionMemoryBudgetBytes caps the incremental-session memory of
+	// each cluster search (0 = the 1 GiB default); see OptimizeOptions.
+	SessionMemoryBudgetBytes int64
+	// Seed drives the search and the clustering.
+	Seed int64
+}
+
+// BuildLibrary precomputes a configuration library for a scenario set:
+// Phase 1 runs once; the scenario space is clustered by each scenario's
+// objective response; each cluster gets its own robust (Phase 2)
+// search; every entry is fingerprinted against the full set. All
+// entries satisfy the normal-conditions constraints of Eqs. (5)-(6), so
+// switching between them never trades away normal performance beyond
+// the paper's χ tolerance.
+func (n *Network) BuildLibrary(set *ScenarioSet, opts LibraryOptions) (*Library, error) {
+	if set == nil {
+		return nil, fmt.Errorf("repro: nil scenario set")
+	}
+	if set.net != n {
+		return nil, fmt.Errorf("repro: scenario set %q was built from a different network", set.Name())
+	}
+	cfg, err := optConfigForBudget(opts.Budget)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Seed = opts.Seed
+	cfg.SessionBudgetBytes = opts.SessionMemoryBudgetBytes
+	lib, err := ctrl.BuildLibrary(n.ev, set.set, ctrl.BuildConfig{K: opts.Size, Opt: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return &Library{lib: lib, net: n}, nil
+}
+
+// ControlEvent is one telemetry update fed to a Controller: a directed
+// link going down or coming back, or a uniform demand-scale update.
+// Richer traffic shifts (hot-spot surges) enter through
+// Controller.ReplayEpisode, which replays scenario-set episodes.
+type ControlEvent struct {
+	// Kind is "link-down", "link-up" or "demand-scale".
+	Kind string
+	// Link is the directed link index of a link event.
+	Link int
+	// Scale multiplies the base demand matrices of both classes on a
+	// "demand-scale" event; 0 or 1 restores the base traffic.
+	Scale float64
+}
+
+// Controller is the online control plane of one network: it tracks
+// current conditions through telemetry events, keeps every library
+// configuration scored incrementally (one persistent session per
+// configuration), advises which configuration fits the conditions
+// best, and plans bounded-change migrations toward it. It is safe for
+// concurrent use.
+type Controller struct {
+	mu       sync.Mutex
+	net      *Network
+	lib      *Library
+	sel      *ctrl.Selector
+	deployed *routing.WeightSetting
+	active   int // library index the deployed weights equal, -1 mid-migration
+}
+
+// NewController starts a controller on the intact network with base
+// traffic, deploying the library configuration that scores best there.
+func (n *Network) NewController(lib *Library) (*Controller, error) {
+	if lib == nil {
+		return nil, fmt.Errorf("repro: nil library")
+	}
+	if lib.net != n {
+		return nil, fmt.Errorf("repro: library was built for a different network")
+	}
+	sel, err := ctrl.NewSelector(n.ev, lib.lib)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{net: n, lib: lib, sel: sel}
+	best, _ := sel.Advise()
+	c.active = best
+	c.deployed = lib.lib.Entries[best].W.Clone()
+	return c, nil
+}
+
+// Observe folds one telemetry event into the controller.
+func (c *Controller) Observe(e ControlEvent) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e.Kind {
+	case "link-down":
+		return c.sel.Observe(scenario.Event{Kind: scenario.EventLinkDown, Link: e.Link})
+	case "link-up":
+		return c.sel.Observe(scenario.Event{Kind: scenario.EventLinkUp, Link: e.Link})
+	case "demand-scale":
+		if e.Scale < 0 {
+			return fmt.Errorf("repro: negative demand scale %g", e.Scale)
+		}
+		ev := scenario.Event{Kind: scenario.EventDemand}
+		if e.Scale != 0 && e.Scale != 1 {
+			ev.DemD = c.net.demD.Clone().Scale(e.Scale)
+			ev.DemT = c.net.demT.Clone().Scale(e.Scale)
+		}
+		return c.sel.Observe(ev)
+	}
+	return fmt.Errorf("repro: unknown event kind %q (link-down|link-up|demand-scale)", e.Kind)
+}
+
+// ReplayEpisode replays scenario i of the set as telemetry: its onset
+// events when onset is true, its recovery events otherwise. Scenario
+// sets thus double as replayable "days" of incidents.
+func (c *Controller) ReplayEpisode(set *ScenarioSet, i int, onset bool) error {
+	if set == nil || set.net != c.net {
+		return fmt.Errorf("repro: scenario set was built from a different network")
+	}
+	if i < 0 || i >= set.Size() {
+		return fmt.Errorf("repro: episode %d out of range [0,%d)", i, set.Size())
+	}
+	ep := scenario.EpisodeAt(c.net.g, set.set, i)
+	events := ep.Onset
+	if !onset {
+		events = ep.Recovery
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range events {
+		if err := c.sel.Observe(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Advice reports the configuration the controller would run now.
+type Advice struct {
+	// Config and Name identify the best library configuration for the
+	// current conditions; Evaluation is its (bit-exact) score there.
+	Config int
+	Name   string
+	Evaluation
+	// Active is the currently deployed configuration (-1 mid-migration);
+	// ShouldSwitch is Config != Active.
+	Active       int
+	ShouldSwitch bool
+}
+
+// Advise scores every configuration under current conditions and
+// returns the best (lexicographic ⟨Λ, Φ⟩; ties to the lowest index).
+func (c *Controller) Advise() Advice {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best, res := c.sel.Advise()
+	return Advice{
+		Config:       best,
+		Name:         c.lib.lib.Entries[best].Name,
+		Evaluation:   toEval(&res),
+		Active:       c.active,
+		ShouldSwitch: best != c.active,
+	}
+}
+
+// MigrationStep is one link rewrite of a migration plan.
+type MigrationStep struct {
+	// Link is the rewritten directed link; Delay and Throughput its new
+	// class weights.
+	Link              int
+	Delay, Throughput int
+	// Evaluation is the network state after this step under the
+	// planning conditions; LoopFree records the independent
+	// forwarding-loop verification of that intermediate state.
+	Evaluation Evaluation
+	LoopFree   bool
+}
+
+// MigrationPlan is an ordered, verified migration from the deployed
+// weights toward a library configuration.
+type MigrationPlan struct {
+	// Target and TargetName identify the destination configuration.
+	Target     int
+	TargetName string
+	// Steps are the rewrites in apply order; every step was
+	// SLA-evaluated and verified loop-free when planned.
+	Steps []MigrationStep
+	// Complete reports whether the plan reaches the target; otherwise
+	// Remaining links are left for a later stage (staged partial
+	// migration) and Blocked reports that no SLA-feasible step existed.
+	Complete  bool
+	Remaining int
+	Blocked   bool
+	// Start, Final and TargetEval evaluate the current weights, the
+	// post-plan weights and the full target under planning conditions.
+	Start, Final, TargetEval Evaluation
+
+	// base is the deployed weight setting the plan was computed from;
+	// Apply refuses a plan whose base no longer matches (stale plan).
+	base *routing.WeightSetting
+}
+
+// Plan computes a bounded-change migration from the deployed weights to
+// library configuration target under the current conditions. At most
+// maxChanges links are rewritten (≤ 0: unbounded); the apply order
+// keeps every intermediate state loop-free and within the SLA envelope
+// of the endpoints. When the budget binds, the plan is a stage:
+// applying it and re-planning later continues the migration.
+func (c *Controller) Plan(target, maxChanges int) (*MigrationPlan, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.planLocked(target, maxChanges)
+}
+
+func (c *Controller) planLocked(target, maxChanges int) (*MigrationPlan, error) {
+	if target < 0 || target >= c.lib.lib.Size() {
+		return nil, fmt.Errorf("repro: configuration %d out of range [0,%d)", target, c.lib.lib.Size())
+	}
+	demD, demT := c.sel.Demands()
+	p, err := ctrl.PlanMigration(c.net.ev, c.deployed, c.lib.lib.Entries[target].W, c.sel.Mask(), demD, demT, ctrl.PlanConfig{
+		MaxChanges: maxChanges,
+		// Bounded-change migration under live failures may have to pass
+		// through mildly degraded states; tolerate a small overshoot
+		// before declaring a step infeasible.
+		ViolationSlack: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan := &MigrationPlan{
+		Target:     target,
+		TargetName: c.lib.lib.Entries[target].Name,
+		Complete:   p.Complete,
+		Remaining:  p.Remaining,
+		Blocked:    p.Blocked,
+		Start:      toEval(&p.Start),
+		Final:      toEval(&p.Final),
+		TargetEval: toEval(&p.Target),
+		base:       c.deployed.Clone(),
+	}
+	for _, st := range p.Steps {
+		plan.Steps = append(plan.Steps, MigrationStep{
+			Link:       st.Link,
+			Delay:      int(st.Delay),
+			Throughput: int(st.Throughput),
+			Evaluation: toEval(&st.Result),
+			LoopFree:   st.LoopFree,
+		})
+	}
+	return plan, nil
+}
+
+// Apply commits a plan's rewrites to the deployed weights. A complete
+// plan lands exactly on its target configuration; a partial plan leaves
+// the controller mid-migration (Active reports -1) until a follow-up
+// plan finishes the job. A plan whose base no longer matches the
+// deployed weights — another plan was applied since it was computed, so
+// its verified intermediate states no longer apply — is rejected, as is
+// a plan not produced by this controller's Plan. Validation happens
+// before any mutation: a rejected plan changes nothing.
+func (c *Controller) Apply(plan *MigrationPlan) error {
+	if plan == nil {
+		return fmt.Errorf("repro: nil plan")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if plan.base == nil {
+		return fmt.Errorf("repro: plan was not produced by Controller.Plan")
+	}
+	if !c.deployed.Equal(plan.base) {
+		return fmt.Errorf("repro: stale plan: deployed weights changed since it was computed")
+	}
+	for _, st := range plan.Steps {
+		if st.Link < 0 || st.Link >= c.deployed.Len() {
+			return fmt.Errorf("repro: plan step link %d out of range", st.Link)
+		}
+	}
+	for _, st := range plan.Steps {
+		c.deployed.Set(st.Link, int32(st.Delay), int32(st.Throughput))
+	}
+	c.active = -1
+	for i, e := range c.lib.lib.Entries {
+		if c.deployed.Equal(e.W) {
+			c.active = i
+			break
+		}
+	}
+	return nil
+}
+
+// ConfigState is one configuration's live score.
+type ConfigState struct {
+	Name string
+	Evaluation
+}
+
+// ControllerState is a snapshot of the controller.
+type ControllerState struct {
+	// Active and ActiveName identify the deployed configuration; Active
+	// is -1 (and ActiveName "partial-migration") mid-migration.
+	Active     int
+	ActiveName string
+	// Deployed evaluates the deployed weights under current conditions.
+	Deployed Evaluation
+	// DownLinks lists the links currently observed down; Events counts
+	// telemetry events consumed.
+	DownLinks []int
+	Events    int
+	// Configs scores every library configuration under the current
+	// conditions, in library order.
+	Configs []ConfigState
+}
+
+// State snapshots the controller's view of the network.
+func (c *Controller) State() ControllerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ControllerState{
+		Active:     c.active,
+		ActiveName: "partial-migration",
+		DownLinks:  c.sel.DownLinks(),
+		Events:     c.sel.Events(),
+	}
+	if c.active >= 0 {
+		// Deployed weights equal a library entry, whose bit-exact score
+		// the selector already caches.
+		st.ActiveName = c.lib.lib.Entries[c.active].Name
+		res := c.sel.Result(c.active)
+		st.Deployed = toEval(&res)
+	} else {
+		demD, demT := c.sel.Demands()
+		var res routing.Result
+		c.net.ev.EvaluateDemands(c.deployed, c.sel.Mask(), -1, demD, demT, &res)
+		st.Deployed = toEval(&res)
+	}
+	for i, e := range c.lib.lib.Entries {
+		r := c.sel.Result(i)
+		st.Configs = append(st.Configs, ConfigState{Name: e.Name, Evaluation: toEval(&r)})
+	}
+	return st
+}

@@ -33,6 +33,24 @@
 // DESIGN.md, "The incremental evaluation engine"); OptimizeResult's
 // Phase1Stats/Phase2Stats report the resulting evaluation throughput.
 //
+// The flexibility axis runs online: BuildLibrary precomputes a small
+// set of configurations by clustering the scenario space and
+// optimizing one robust routing per cluster, and a Controller tracks
+// live conditions through telemetry events, advises the best
+// configuration, and plans bounded-change migrations whose every step
+// is loop-free and SLA-checked:
+//
+//	lib, _ := net.BuildLibrary(set, repro.LibraryOptions{Size: 4})
+//	ctrl, _ := net.NewController(lib)
+//	ctrl.Observe(repro.ControlEvent{Kind: "link-down", Link: 3})
+//	if adv := ctrl.Advise(); adv.ShouldSwitch {
+//	    plan, _ := ctrl.Plan(adv.Config, 5) // at most 5 weight changes
+//	    ctrl.Apply(plan)
+//	}
+//
+// cmd/dtrd serves the same controller as a long-running HTTP/JSON
+// daemon with Prometheus-style metrics and scenario-set replay.
+//
 // The implementation lives in internal packages, one per subsystem (see
 // DESIGN.md for the inventory); the experiment harness that regenerates
 // every table and figure of the paper is exposed through

@@ -1,0 +1,160 @@
+package ctrl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// kmeans clusters points into at most k groups and returns the cluster
+// index of every point. It is deterministic in seed: k-means++ seeding
+// from a private RNG, Lloyd iterations until assignments stabilize (or
+// a fixed cap), empty clusters repaired by stealing the point farthest
+// from its centroid. Callers normalize features beforehand; distances
+// are plain Euclidean.
+func kmeans(points [][]float64, k int, seed int64) []int {
+	n := len(points)
+	assign := make([]int, n)
+	if n == 0 || k <= 1 {
+		return assign
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding: first centroid uniform, then proportional to
+	// squared distance from the nearest chosen centroid.
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d2[i] = sqDist(p, centroids[0])
+			for _, c := range centroids[1:] {
+				if d := sqDist(p, c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; further
+			// clusters would be empty.
+			break
+		}
+		r := rng.Float64() * total
+		pick := n - 1
+		for i, d := range d2 {
+			if r -= d; r <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+	k = len(centroids)
+
+	counts := make([]int, k)
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				if assign[i] != best {
+					changed = true
+				}
+				assign[i] = best
+			}
+		}
+		// Repair empty clusters: steal the point farthest from its
+		// current centroid.
+		clear(counts)
+		for _, c := range assign {
+			counts[c]++
+		}
+		for c := range counts {
+			if counts[c] > 0 {
+				continue
+			}
+			far, farD := -1, -1.0
+			for i, p := range points {
+				if counts[assign[i]] <= 1 {
+					continue
+				}
+				if d := sqDist(p, centroids[assign[i]]); d > farD {
+					far, farD = i, d
+				}
+			}
+			if far < 0 {
+				continue
+			}
+			counts[assign[far]]--
+			assign[far] = c
+			counts[c] = 1
+			changed = true
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i, p := range points {
+			for j := 0; j < dim; j++ {
+				centroids[assign[i]][j] += p[j]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// normalizeColumns min-max scales every feature dimension to [0,1] in
+// place; constant dimensions become 0 so they cannot dominate.
+func normalizeColumns(points [][]float64) {
+	if len(points) == 0 {
+		return
+	}
+	dim := len(points[0])
+	for j := 0; j < dim; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range points {
+			lo, hi = math.Min(lo, p[j]), math.Max(hi, p[j])
+		}
+		span := hi - lo
+		for _, p := range points {
+			if span > 0 {
+				p[j] = (p[j] - lo) / span
+			} else {
+				p[j] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package ctrl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+)
+
+// Selector is the event-driven half of the control plane: it tracks the
+// network's current conditions (which links are down, which demand
+// matrices are in effect) through a telemetry stream and keeps one
+// persistent routing.Session per library configuration, so every event
+// re-scores all candidates incrementally — a link event touches only
+// the destinations whose routing it can change, per candidate — and
+// Advise is a constant-time scan of cached, bit-exact results.
+//
+// A Selector is not safe for concurrent use; callers serialize access
+// (cmd/dtrd wraps one in a mutex).
+type Selector struct {
+	ev       *routing.Evaluator
+	lib      *Library
+	sessions []*routing.Session
+	down     []bool
+	ndown    int
+	demD     *traffic.Matrix // nil = base traffic
+	demT     *traffic.Matrix
+	events   int
+}
+
+// NewSelector builds a selector over the library, basing every
+// candidate session on the intact topology and base traffic.
+func NewSelector(ev *routing.Evaluator, lib *Library) (*Selector, error) {
+	if lib.Size() == 0 {
+		return nil, fmt.Errorf("ctrl: empty library")
+	}
+	m := ev.Graph().NumLinks()
+	if lib.Links() != m {
+		return nil, fmt.Errorf("ctrl: library covers %d links, network has %d", lib.Links(), m)
+	}
+	s := &Selector{
+		ev:   ev,
+		lib:  lib,
+		down: make([]bool, m),
+	}
+	s.sessions = make([]*routing.Session, lib.Size())
+	for i, e := range lib.Entries {
+		ses := ev.NewScenarioSession(graph.NewMask(ev.Graph()), -1, nil, nil)
+		ses.Init(e.W)
+		s.sessions[i] = ses
+	}
+	return s, nil
+}
+
+// Library returns the library the selector serves.
+func (s *Selector) Library() *Library { return s.lib }
+
+// Events returns the number of telemetry events observed.
+func (s *Selector) Events() int { return s.events }
+
+// DownLinks returns the directed links currently marked down, ascending.
+func (s *Selector) DownLinks() []int {
+	out := make([]int, 0, s.ndown)
+	for li, d := range s.down {
+		if d {
+			out = append(out, li)
+		}
+	}
+	return out
+}
+
+// Demands returns the demand overrides currently in effect (nil = base
+// traffic of that class).
+func (s *Selector) Demands() (demD, demT *traffic.Matrix) { return s.demD, s.demT }
+
+// Mask returns a fresh mask reflecting the selector's current link
+// state, for callers (the migration planner, oracle audits) that need
+// the conditions independently of the candidate sessions.
+func (s *Selector) Mask() *graph.Mask {
+	mask := graph.NewMask(s.ev.Graph())
+	for li, d := range s.down {
+		if d {
+			mask.FailLink(li)
+		}
+	}
+	return mask
+}
+
+// Observe folds one telemetry event into every candidate session. Link
+// events re-score incrementally (SetLinkState); demand events re-base
+// each session on the new matrices. Duplicate link events (down twice)
+// are idempotent.
+func (s *Selector) Observe(e scenario.Event) error {
+	switch e.Kind {
+	case scenario.EventLinkDown, scenario.EventLinkUp:
+		if e.Link < 0 || e.Link >= len(s.down) {
+			return fmt.Errorf("ctrl: link %d out of range [0,%d)", e.Link, len(s.down))
+		}
+		up := e.Kind == scenario.EventLinkUp
+		if s.down[e.Link] != up {
+			return nil // already in the observed state
+		}
+		s.down[e.Link] = !up
+		if up {
+			s.ndown--
+		} else {
+			s.ndown++
+		}
+		s.each(func(ses *routing.Session) { ses.SetLinkState(e.Link, up) })
+	case scenario.EventDemand:
+		if e.DemD != nil && e.DemD.Size() != s.ev.Graph().NumNodes() {
+			return fmt.Errorf("ctrl: demand matrix size %d does not match %d nodes", e.DemD.Size(), s.ev.Graph().NumNodes())
+		}
+		if e.DemT != nil && e.DemT.Size() != s.ev.Graph().NumNodes() {
+			return fmt.Errorf("ctrl: demand matrix size %d does not match %d nodes", e.DemT.Size(), s.ev.Graph().NumNodes())
+		}
+		s.demD, s.demT = e.DemD, e.DemT
+		s.each(func(ses *routing.Session) { ses.SetDemands(e.DemD, e.DemT) })
+	default:
+		return fmt.Errorf("ctrl: unknown event kind %d", e.Kind)
+	}
+	s.events++
+	return nil
+}
+
+// each applies fn to every candidate session, fanning out across
+// goroutines: the sessions are independent, and each owns all state fn
+// touches, so the result is deterministic regardless of scheduling.
+func (s *Selector) each(fn func(*routing.Session)) {
+	if len(s.sessions) == 1 {
+		fn(s.sessions[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(s.sessions))
+	for _, ses := range s.sessions {
+		go func() {
+			defer wg.Done()
+			fn(ses)
+		}()
+	}
+	wg.Wait()
+}
+
+// Result returns candidate i's evaluation under the current conditions.
+func (s *Selector) Result(i int) routing.Result { return s.sessions[i].Result() }
+
+// Advise returns the index and evaluation of the library configuration
+// with the best objective (lexicographic ⟨Λ, Φ⟩) under the current
+// conditions; ties go to the lowest index. The evaluation is
+// bit-identical to a from-scratch Evaluator run of that configuration
+// under the selector's mask and demands.
+func (s *Selector) Advise() (int, routing.Result) {
+	best := 0
+	bestRes := s.sessions[0].Result()
+	for i := 1; i < len(s.sessions); i++ {
+		if res := s.sessions[i].Result(); res.Cost.Less(bestRes.Cost) {
+			best, bestRes = i, res
+		}
+	}
+	return best, bestRes
+}

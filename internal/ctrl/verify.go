@@ -1,0 +1,86 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/spf"
+)
+
+// VerifyLoopFree checks, independently of the evaluator's DP machinery,
+// that the forwarding state of w on g under mask is loop-free for both
+// traffic classes: for every destination, the ECMP next-hop relation
+// (the union of on-DAG links toward that destination) must be acyclic,
+// and every node with a finite distance must have at least one next
+// hop. Shortest-path forwarding with positive weights guarantees this
+// by construction; the planner still runs the check on every migration
+// step so a bug anywhere in the incremental machinery surfaces as a
+// verification failure instead of a silent forwarding loop.
+func VerifyLoopFree(g *graph.Graph, w *routing.WeightSetting, mask *graph.Mask) error {
+	ws := spf.NewWorkspace(g)
+	if err := verifyClass(g, ws, w.Delay, mask, "delay"); err != nil {
+		return err
+	}
+	return verifyClass(g, ws, w.Throughput, mask, "throughput")
+}
+
+func verifyClass(g *graph.Graph, ws *spf.Workspace, weights []int32, mask *graph.Mask, class string) error {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	queue := make([]int32, 0, n)
+	for t := 0; t < n; t++ {
+		if !mask.NodeAlive(t) {
+			continue
+		}
+		ws.Run(g, weights, t, mask)
+		// Collect the forwarding relation: every on-DAG link is a
+		// next-hop edge toward t. Count in-degrees over DAG edges and
+		// run Kahn's algorithm; any cycle leaves nodes unprocessed.
+		clear(indeg)
+		reachable := 0
+		for v := 0; v < n; v++ {
+			if !ws.Reached(v) || !mask.NodeAlive(v) {
+				continue
+			}
+			reachable++
+			hops := 0
+			for _, li := range g.OutLinks(v) {
+				if ws.OnDAG(g, weights, int(li), mask) {
+					hops++
+					indeg[g.Link(int(li)).To]++
+				}
+			}
+			if hops == 0 && v != t {
+				return fmt.Errorf("ctrl: %s class, destination %s: node %s reaches it but has no next hop",
+					class, g.NodeName(t), g.NodeName(v))
+			}
+		}
+		queue = queue[:0]
+		for v := 0; v < n; v++ {
+			if ws.Reached(v) && mask.NodeAlive(v) && indeg[v] == 0 {
+				queue = append(queue, int32(v))
+			}
+		}
+		processed := 0
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			processed++
+			for _, li := range g.OutLinks(int(v)) {
+				if !ws.OnDAG(g, weights, int(li), mask) {
+					continue
+				}
+				to := g.Link(int(li)).To
+				if indeg[to]--; indeg[to] == 0 {
+					queue = append(queue, int32(to))
+				}
+			}
+		}
+		if processed != reachable {
+			return fmt.Errorf("ctrl: %s class, destination %s: forwarding relation has a cycle (%d of %d nodes ordered)",
+				class, g.NodeName(t), processed, reachable)
+		}
+	}
+	return nil
+}

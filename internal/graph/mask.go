@@ -65,6 +65,18 @@ func (m *Mask) FailLinkBoth(li int) {
 // LinkAlive's endpoint check.
 func (m *Mask) FailNode(v int) { m.deadNodes[v] = true }
 
+// ReviveLink clears the link-down mark of li. The link becomes alive
+// again unless an endpoint node is down.
+func (m *Mask) ReviveLink(li int) { m.deadLinks[li] = false }
+
+// LinkFailed reports whether link li itself is marked down. Unlike
+// LinkAlive it ignores the liveness of the endpoints, so toggling code
+// (link-down / link-up event streams) can track the link's own state
+// independently of node failures.
+func (m *Mask) LinkFailed(li int) bool {
+	return m != nil && m.deadLinks[li]
+}
+
 // AnyFailure reports whether the mask differs from the all-alive state.
 func (m *Mask) AnyFailure() bool {
 	if m == nil {

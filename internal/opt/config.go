@@ -69,6 +69,14 @@ type Config struct {
 	// distribution (the paper's own "infinite weight" limit) is both
 	// cheaper and more faithful at reduced budgets. See DESIGN.md.
 	ExactPhase1b bool
+	// SessionBudgetBytes caps the memory the per-scenario incremental
+	// sessions of the robust search may claim, estimated via
+	// Evaluator.SessionBytes (one session per scenario plus normal
+	// conditions). Beyond the budget — very large topologies optimized
+	// against very large failure sets — Phase 2 falls back to
+	// from-scratch sweeps, which produce bit-identical results, just
+	// slower. 0 means DefaultSessionBudgetBytes (1 GiB).
+	SessionBudgetBytes int64
 	// FullEval disables the incremental evaluation engine: every move in
 	// the Phase 1/Phase 2 inner loops is evaluated from scratch instead
 	// of through delta-SPF sessions. The two modes visit the same moves

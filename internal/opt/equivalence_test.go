@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/topogen"
 	"repro/internal/traffic"
 )
@@ -92,6 +93,70 @@ func TestIncrementalMatchesFullEval(t *testing.T) {
 				t.Errorf("phase 2 normal cost %+v != %+v", full.Phase2.Normal.Cost, inc.Phase2.Normal.Cost)
 			}
 		})
+	}
+}
+
+// TestRunPhase2SetMatchesFailureSet checks the generalized scenario
+// entry point against the FailureSet path: the same link failures
+// expressed as a scenario.Set must yield bit-identical Phase 2 results
+// (both searches consume the same RNG stream move for move).
+func TestRunPhase2SetMatchesFailureSet(t *testing.T) {
+	cfg := testConfig()
+	cfg.Seed = 13
+	links := []int{0, 3, 11, 17}
+
+	evA := equivalenceEvaluator(t, topogen.RandKind, 8, 40, 41)
+	oA := New(evA, cfg)
+	p1A := oA.RunPhase1()
+	p2A := oA.RunPhase2(p1A, FailureSet{Links: links})
+
+	evB := equivalenceEvaluator(t, topogen.RandKind, 8, 40, 41)
+	oB := New(evB, cfg)
+	p1B := oB.RunPhase1()
+	set := scenario.Set{Name: "links"}
+	for _, l := range links {
+		set.Scenarios = append(set.Scenarios, scenario.LinkFailure{Links: []int{l}})
+	}
+	p2B := oB.RunPhase2Set(p1B, set, nil)
+
+	if !p2A.BestW.Equal(p2B.BestW) {
+		t.Error("scenario-set phase 2 weights differ from failure-set path")
+	}
+	if p2A.FailCost != p2B.FailCost {
+		t.Errorf("fail cost %+v != %+v", p2A.FailCost, p2B.FailCost)
+	}
+}
+
+// TestRunPhase2SetSurgeEquivalence runs the generalized robust search
+// over a mixed failure+surge set in both evaluation modes; the surge
+// scenarios exercise sessions with demand overrides inside the search
+// loop.
+func TestRunPhase2SetSurgeEquivalence(t *testing.T) {
+	cfg := testConfig()
+	cfg.Seed = 17
+
+	build := func(full bool) (*Phase2Result, *routing.Evaluator) {
+		c := cfg
+		c.FullEval = full
+		ev := equivalenceEvaluator(t, topogen.RandKind, 8, 40, 43)
+		o := New(ev, c)
+		p1 := o.RunPhase1()
+		set := scenario.Merge("mixed",
+			scenario.Set{Scenarios: []scenario.Scenario{
+				scenario.LinkFailure{Links: []int{2}},
+				scenario.NodeFailure{Node: 5},
+			}},
+			scenario.HotspotSurges(ev.DemandDelay(), ev.DemandThroughput(), traffic.DefaultHotspot(true), 2, 9),
+		)
+		return o.RunPhase2Set(p1, set, nil), ev
+	}
+	full, _ := build(true)
+	inc, _ := build(false)
+	if !full.BestW.Equal(inc.BestW) {
+		t.Error("mixed-set phase 2 weights differ between modes")
+	}
+	if full.FailCost != inc.FailCost {
+		t.Errorf("mixed-set fail cost %+v != %+v", full.FailCost, inc.FailCost)
 	}
 }
 

@@ -5,7 +5,10 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/graph"
 	"repro/internal/routing"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
 )
 
 // FailureSet lists the failure scenarios a robust search optimizes
@@ -37,26 +40,6 @@ func (fs FailureSet) validate() {
 	if fs.NodeProbs != nil && len(fs.NodeProbs) != len(fs.Nodes) {
 		panic("opt: NodeProbs length does not match Nodes")
 	}
-}
-
-// weightedCost compounds per-scenario costs under the set's weights
-// (uniform when no probabilities are given). results must come from
-// EvaluateFailureSet with the same set.
-func (fs FailureSet) weightedCost(results []routing.Result) cost.Cost {
-	var total cost.Cost
-	for i := range results {
-		w := 1.0
-		if i < len(fs.Links) {
-			if fs.LinkProbs != nil {
-				w = fs.LinkProbs[i]
-			}
-		} else if fs.NodeProbs != nil {
-			w = fs.NodeProbs[i-len(fs.Links)]
-		}
-		total.Lambda += w * results[i].Cost.Lambda
-		total.Phi += w * results[i].Cost.Phi
-	}
-	return total
 }
 
 // AllLinkFailures covers every directed link of the evaluator's graph.
@@ -94,12 +77,52 @@ type Phase2Result struct {
 	Stats     Stats
 }
 
-// phase2SessionBudgetBytes caps the memory the per-scenario session
-// caches of RunPhase2 may claim (estimated via Evaluator.SessionBytes).
-// Beyond it — very large topologies optimized against very large failure
-// sets — the search falls back to from-scratch sweeps, which produce
-// bit-identical results, just slower.
-const phase2SessionBudgetBytes = 1 << 30
+// DefaultSessionBudgetBytes is the fallback for
+// Config.SessionBudgetBytes: the per-scenario session caches of the
+// robust search may claim 1 GiB before the search drops back to
+// from-scratch sweeps.
+const DefaultSessionBudgetBytes = 1 << 30
+
+// phase2Scenario is one scenario of the generalized robust objective: a
+// failure pattern (the mask is owned by the scenario), an optional node
+// whose traffic is removed, optional demand-matrix overrides, and the
+// scenario's weight in the compounded cost.
+type phase2Scenario struct {
+	mask       *graph.Mask
+	skip       int
+	demD, demT *traffic.Matrix
+	prob       float64
+}
+
+// failureScenarios renders a FailureSet: links first, then nodes, in
+// the order listed — the compounding order of Eq. (7).
+func (o *Optimizer) failureScenarios(fs FailureSet) []phase2Scenario {
+	g := o.ev.Graph()
+	scens := make([]phase2Scenario, 0, fs.Size())
+	for i, l := range fs.Links {
+		mask := graph.NewMask(g)
+		if fs.Both {
+			mask.FailLinkBoth(l)
+		} else {
+			mask.FailLink(l)
+		}
+		p := 1.0
+		if fs.LinkProbs != nil {
+			p = fs.LinkProbs[i]
+		}
+		scens = append(scens, phase2Scenario{mask: mask, skip: -1, prob: p})
+	}
+	for i, v := range fs.Nodes {
+		mask := graph.NewMask(g)
+		mask.FailNode(v)
+		p := 1.0
+		if fs.NodeProbs != nil {
+			p = fs.NodeProbs[i]
+		}
+		scens = append(scens, phase2Scenario{mask: mask, skip: v, prob: p})
+	}
+	return scens
+}
 
 // RunPhase2 performs the robust optimization of Eq. (4) over the given
 // failure scenarios (normally the critical links from Phase 1c; the full
@@ -115,34 +138,83 @@ const phase2SessionBudgetBytes = 1 << 30
 // the from-scratch sweeps; both modes visit the same moves on the same
 // RNG stream and return bit-identical results.
 func (o *Optimizer) RunPhase2(p1 *Phase1Result, fs FailureSet) *Phase2Result {
-	start := time.Now()
 	fs.validate()
+	return o.runPhase2(p1, o.failureScenarios(fs))
+}
+
+// RunPhase2Set is RunPhase2 over an arbitrary scenario set — including
+// traffic surges and failure-during-surge compounds, which FailureSet
+// cannot express. It is the per-cluster optimization entry point of the
+// control plane's configuration library: each cluster of the scenario
+// space is handed here to produce one library configuration. probs,
+// when non-nil, weights each scenario's cost (length must match the
+// set); nil reproduces the uniform Σ.
+func (o *Optimizer) RunPhase2Set(p1 *Phase1Result, set scenario.Set, probs []float64) *Phase2Result {
+	if probs != nil && len(probs) != set.Size() {
+		panic("opt: probs length does not match scenario set")
+	}
+	g := o.ev.Graph()
+	scens := make([]phase2Scenario, set.Size())
+	for i, sc := range set.Scenarios {
+		mask := graph.NewMask(g)
+		skip, demD, demT := sc.Apply(mask)
+		p := 1.0
+		if probs != nil {
+			p = probs[i]
+		}
+		scens[i] = phase2Scenario{mask: mask, skip: skip, demD: demD, demT: demT, prob: p}
+	}
+	return o.runPhase2(p1, scens)
+}
+
+// weightedCost compounds per-scenario costs under the scenarios'
+// weights — Eq. (7) for uniform weights, the probabilistic extension
+// otherwise. results must align index-for-index with scens.
+func weightedCost(scens []phase2Scenario, results []routing.Result) cost.Cost {
+	var total cost.Cost
+	for i := range results {
+		total.Lambda += scens[i].prob * results[i].Cost.Lambda
+		total.Phi += scens[i].prob * results[i].Cost.Phi
+	}
+	return total
+}
+
+// runPhase2 is the shared robust-search loop over generalized
+// scenarios.
+func (o *Optimizer) runPhase2(p1 *Phase1Result, scens []phase2Scenario) *Phase2Result {
+	start := time.Now()
 	cfg := o.cfg
 	m := o.ev.Graph().NumLinks()
 	lambdaStar := p1.Best.Cost.Lambda
 	phiBound := (1 + cfg.Chi) * p1.Best.Cost.Phi
 
 	evals := 0
+	results := make([]routing.Result, len(scens))
+	weighted := func() cost.Cost { return weightedCost(scens, results) }
 	evalFail := func(w *routing.WeightSetting) cost.Cost {
-		rs := EvaluateFailureSet(o.ev, w, fs)
-		evals += len(rs)
-		return fs.weightedCost(rs)
+		parallelWorkers(len(scens), func() func(i int) {
+			return func(i int) {
+				sc := &scens[i]
+				o.ev.EvaluateDemands(w, sc.mask, sc.skip, sc.demD, sc.demT, &results[i])
+			}
+		})
+		evals += len(scens)
+		return weighted()
 	}
 
-	useSessions := !cfg.FullEval && int64(fs.Size()+1)*o.ev.SessionBytes() <= phase2SessionBudgetBytes
+	budget := cfg.SessionBudgetBytes
+	if budget == 0 {
+		budget = DefaultSessionBudgetBytes
+	}
+	useSessions := !cfg.FullEval && int64(len(scens)+1)*o.ev.SessionBytes() <= budget
 	var nses *routing.Session
 	var fses []*routing.Session
-	var results []routing.Result
 	if useSessions {
 		nses = o.ev.NewSession(nil, -1)
-		fses = make([]*routing.Session, 0, fs.Size())
-		for _, l := range fs.Links {
-			fses = append(fses, o.ev.NewLinkFailureSession(l, fs.Both))
+		fses = make([]*routing.Session, len(scens))
+		for i, sc := range scens {
+			fses[i] = o.ev.NewScenarioSession(sc.mask, sc.skip, sc.demD, sc.demT)
 		}
-		for _, v := range fs.Nodes {
-			fses = append(fses, o.ev.NewNodeFailureSession(v))
-		}
-		results = make([]routing.Result, len(fses))
 	}
 	// The scenario sessions are independent, so moves fan out across
 	// workers; each index owns its result slot, keeping the weighted sum
@@ -155,14 +227,14 @@ func (o *Optimizer) RunPhase2(p1 *Phase1Result, fs FailureSet) *Phase2Result {
 			return func(i int) { results[i] = fses[i].Init(w) }
 		})
 		evals += len(fses)
-		return fs.weightedCost(results)
+		return weighted()
 	}
 	applyFail := func(l int, wd, wt int32) cost.Cost {
 		parallelWorkers(len(fses), func() func(i int) {
 			return func(i int) { results[i] = fses[i].Apply(l, wd, wt) }
 		})
 		evals += len(fses)
-		return fs.weightedCost(results)
+		return weighted()
 	}
 	revertFail := func() {
 		parallelWorkers(len(fses), func() func(i int) {

@@ -8,13 +8,15 @@ import (
 )
 
 func TestWeightedCostUniformMatchesSum(t *testing.T) {
-	fs := FailureSet{Links: []int{0, 1}, Nodes: []int{2}}
+	ev := testEvaluator(t, 19)
+	o := New(ev, testConfig())
+	scens := o.failureScenarios(FailureSet{Links: []int{0, 1}, Nodes: []int{2}})
 	rs := []routing.Result{
 		{Cost: cost.Cost{Lambda: 1, Phi: 10}},
 		{Cost: cost.Cost{Lambda: 2, Phi: 20}},
 		{Cost: cost.Cost{Lambda: 4, Phi: 40}},
 	}
-	got := fs.weightedCost(rs)
+	got := weightedCost(scens, rs)
 	want := routing.SumFailureCosts(rs)
 	if got != want {
 		t.Errorf("uniform weightedCost = %v, want %v", got, want)
@@ -22,18 +24,20 @@ func TestWeightedCostUniformMatchesSum(t *testing.T) {
 }
 
 func TestWeightedCostAppliesProbs(t *testing.T) {
-	fs := FailureSet{
+	ev := testEvaluator(t, 19)
+	o := New(ev, testConfig())
+	scens := o.failureScenarios(FailureSet{
 		Links:     []int{0, 1},
 		LinkProbs: []float64{0.5, 0},
 		Nodes:     []int{2},
 		NodeProbs: []float64{2},
-	}
+	})
 	rs := []routing.Result{
 		{Cost: cost.Cost{Lambda: 10, Phi: 100}},
 		{Cost: cost.Cost{Lambda: 99, Phi: 999}}, // zero probability: ignored
 		{Cost: cost.Cost{Lambda: 1, Phi: 10}},
 	}
-	got := fs.weightedCost(rs)
+	got := weightedCost(scens, rs)
 	want := cost.Cost{Lambda: 0.5*10 + 2*1, Phi: 0.5*100 + 2*10}
 	if got != want {
 		t.Errorf("weightedCost = %v, want %v", got, want)

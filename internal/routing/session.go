@@ -39,6 +39,10 @@ type Session struct {
 	skipNode int
 	w        *WeightSetting
 	ws       *spf.Workspace
+	// demD and demT are the demand matrices the session evaluates —
+	// the evaluator's base traffic unless overridden at construction
+	// (NewScenarioSession) or by SetDemands.
+	demD, demT *traffic.Matrix
 
 	// Per-destination caches (index = destination; dead or skipped
 	// destinations keep zero values and nil slices).
@@ -126,6 +130,8 @@ func (e *Evaluator) NewSession(mask *graph.Mask, skipNode int) *Session {
 		e:         e,
 		mask:      mask,
 		skipNode:  skipNode,
+		demD:      e.demD,
+		demT:      e.demT,
 		w:         NewWeightSetting(m),
 		ws:        spf.NewWorkspace(e.g),
 		dDest:     make([]delayDest, n),
@@ -149,6 +155,30 @@ func (e *Evaluator) NewSession(mask *graph.Mask, skipNode int) *Session {
 		linkMark:  make([]int32, m),
 		needDP:    make([]bool, n),
 	}
+}
+
+// NewScenarioSession returns a session for an arbitrary scenario: the
+// failure pattern in mask (retained, not copied; nil = intact topology),
+// skipNode's traffic removed (-1 for none), and demand matrices
+// overriding the evaluator's base traffic (nil keeps the base matrix of
+// that class). PhiNorm stays normalized by the base-traffic min-hop
+// cost, matching Evaluator.EvaluateDemands, so results are bit-identical
+// to EvaluateDemands under the same weights and scenario.
+func (e *Evaluator) NewScenarioSession(mask *graph.Mask, skipNode int, demD, demT *traffic.Matrix) *Session {
+	s := e.NewSession(mask, skipNode)
+	if demD != nil {
+		if demD.Size() != e.g.NumNodes() {
+			panic("routing: override traffic matrix size does not match graph")
+		}
+		s.demD = demD
+	}
+	if demT != nil {
+		if demT.Size() != e.g.NumNodes() {
+			panic("routing: override traffic matrix size does not match graph")
+		}
+		s.demT = demT
+	}
+	return s
 }
 
 // NewLinkFailureSession returns a session for the scenario with directed
@@ -208,14 +238,14 @@ func (s *Session) Init(w *WeightSetting) Result {
 		s.ws.Run(g, s.w.Delay, t, s.mask)
 		s.ws.Save(&s.dDest[t].state)
 		s.buildDAG(&s.dDest[t])
-		demandColumn(e.demD, t, s.skipNode, s.demCol)
+		demandColumn(s.demD, t, s.skipNode, s.demCol)
 		s.dContrib[t] = resizeFloats(s.dContrib[t], len(s.loadD))
 		s.ws.AccumulateLoadsInto(g, s.w.Delay, s.demCol, s.mask, s.dContrib[t])
 		addLoads(s.loadD, s.dContrib[t])
 		// Throughput class.
 		s.ws.Run(g, s.w.Throughput, t, s.mask)
 		s.ws.Save(&s.tStates[t])
-		demandColumn(e.demT, t, s.skipNode, s.demCol)
+		demandColumn(s.demT, t, s.skipNode, s.demCol)
 		s.tContrib[t] = resizeFloats(s.tContrib[t], len(s.loadT))
 		d := s.ws.AccumulateLoadsInto(g, s.w.Throughput, s.demCol, s.mask, s.tContrib[t])
 		s.tDropped[t] = d
@@ -250,8 +280,7 @@ func (s *Session) Apply(l int, wd, wt int32) Result {
 	if !s.inited {
 		panic("routing: Session.Apply before Init")
 	}
-	e, g := s.e, s.e.g
-	n := g.NumNodes()
+	n := s.e.g.NumNodes()
 	s.recycleUndo()
 	u := &s.undo
 
@@ -289,6 +318,20 @@ func (s *Session) Apply(l int, wd, wt int32) Result {
 		return s.res
 	}
 	u.noop = false
+	s.recompute(u)
+	return s.res
+}
+
+// recompute re-evaluates the session after the affected destinations of
+// each class have been classified into s.affD/s.dagD (delay: fresh
+// Dijkstra vs DAG-only refresh) and s.affT/s.dagT (throughput), stashing
+// everything it overwrites into u so Revert can restore it. It is the
+// shared tail of Apply (weight moves) and SetLinkState (topology moves);
+// the caller must already have committed the triggering change (weights
+// or mask) to the session.
+func (s *Session) recompute(u *undoState) {
+	e, g := s.e, s.e.g
+	n := g.NumNodes()
 
 	// Snapshot link-level aggregates wholesale: O(links) copies are cheap
 	// next to even one Dijkstra, and restoring them is exact.
@@ -312,28 +355,28 @@ func (s *Session) Apply(l int, wd, wt int32) Result {
 		s.dDest[t] = s.newDest()
 		s.ws.Run(g, s.w.Delay, t, s.mask)
 		s.ws.Save(&s.dDest[t].state)
-		s.refreshDelayDest(t, e.demD, u)
+		s.refreshDelayDest(t, s.demD, u)
 	}
 	for _, t := range s.dagD {
 		u.oldDDest = append(u.oldDDest, s.dDest[t])
 		s.dDest[t] = s.newDest()
 		s.dDest[t].state.CopyFrom(&u.oldDDest[len(u.oldDDest)-1].state)
 		s.ws.Restore(&s.dDest[t].state)
-		s.refreshDelayDest(t, e.demD, u)
+		s.refreshDelayDest(t, s.demD, u)
 	}
 	for _, t := range s.affT {
 		u.oldTStates = append(u.oldTStates, s.tStates[t])
 		s.tStates[t] = s.newState()
 		s.ws.Run(g, s.w.Throughput, t, s.mask)
 		s.ws.Save(&s.tStates[t])
-		s.refreshThroughputDest(t, e.demT, u)
+		s.refreshThroughputDest(t, s.demT, u)
 	}
 	for _, t := range s.dagT {
 		u.oldTStates = append(u.oldTStates, s.tStates[t])
 		s.tStates[t] = s.newState()
 		s.tStates[t].CopyFrom(&u.oldTStates[len(u.oldTStates)-1])
 		s.ws.Restore(&s.tStates[t])
-		s.refreshThroughputDest(t, e.demT, u)
+		s.refreshThroughputDest(t, s.demT, u)
 	}
 
 	// Re-sum the changed links' class loads over all destinations in
@@ -428,7 +471,6 @@ func (s *Session) Apply(l int, wd, wt int32) Result {
 	}
 
 	s.res = s.assemble(lambda, phi, violations, disconnected, maxUtil, sumUtil, aliveLinks)
-	return s.res
 }
 
 // Revert restores the state before the last Apply exactly. It panics if
@@ -475,6 +517,184 @@ func (s *Session) Revert() {
 	s.droppedT = u.droppedT
 	s.res = u.res
 }
+
+// SetLinkState marks directed link li down (up=false) or restores it
+// (up=true), incrementally re-evaluates the session under the changed
+// failure state, and returns the new Result — the topology half of an
+// online telemetry stream (the other half, demand updates, is
+// SetDemands). The change commits immediately: it clears any pending
+// Apply undo and cannot itself be reverted. Results are bit-identical
+// to a from-scratch evaluation under the updated mask.
+//
+// Affected-destination classification mirrors the weight-move tests as
+// their infinite-weight limits. Failing a link can only matter to
+// destinations that have it on their ECMP DAG (a non-tight link carries
+// nothing and only gets less attractive); distances survive — a
+// DAG-only refresh — iff the link's tail keeps at least one other tight
+// successor. Restoring a link (u,v) with weight w can only matter where
+// w + dist(v) ties (joins the DAG, distances unchanged) or beats
+// (fresh Dijkstra) the cached dist(u): any new path runs through the
+// restored arc, so dist(v) bounds what it can offer. Unlike a weight
+// move, the per-link aggregate pass re-runs even with no affected
+// destinations: link aliveness itself feeds the utilization summary.
+func (s *Session) SetLinkState(li int, up bool) Result {
+	if !s.inited {
+		panic("routing: Session.SetLinkState before Init")
+	}
+	g := s.e.g
+	if s.mask == nil {
+		if up {
+			return s.res // an absent mask means everything is already up
+		}
+		s.mask = graph.NewMask(g)
+	}
+	if up == !s.mask.LinkFailed(li) {
+		return s.res // already in the desired state
+	}
+	s.recycleUndo()
+	s.canRevert = false
+	u := &s.undo
+	u.noop = false
+
+	// A link whose endpoint node is down is dead either way: flipping its
+	// own bit changes nothing observable.
+	if !s.mask.NodeAlive(int(s.linkFrom[li])) || !s.mask.NodeAlive(int(s.linkTo[li])) {
+		if up {
+			s.mask.ReviveLink(li)
+		} else {
+			s.mask.FailLink(li)
+		}
+		return s.res
+	}
+
+	// Classify against the pre-flip snapshots, then commit the flip; the
+	// recompute routes the affected destinations under the new mask.
+	n := g.NumNodes()
+	s.affD, s.dagD = s.affD[:0], s.dagD[:0]
+	s.affT, s.dagT = s.affT[:0], s.dagT[:0]
+	for t := 0; t < n; t++ {
+		if !s.alive(t) {
+			continue
+		}
+		switch s.classifyDelayLinkState(t, li, up) {
+		case affectFull:
+			s.affD = append(s.affD, t)
+		case affectDAGOnly:
+			s.dagD = append(s.dagD, t)
+		}
+		switch s.classifyThroughputLinkState(t, li, up) {
+		case affectFull:
+			s.affT = append(s.affT, t)
+		case affectDAGOnly:
+			s.dagT = append(s.dagT, t)
+		}
+	}
+	if up {
+		s.mask.ReviveLink(li)
+	} else {
+		s.mask.FailLink(li)
+	}
+	u.res = s.res
+	u.droppedT = s.droppedT
+	s.recompute(u)
+	return s.res
+}
+
+// classifyDelayLinkState classifies failing (up=false) or restoring
+// (up=true) link li for destination t's delay-class cache: the
+// newW → ∞ respectively ∞ → w limits of classifyDelay. The caller has
+// already established that the link's own state actually flips and that
+// both endpoints are alive.
+func (s *Session) classifyDelayLinkState(t, li int, up bool) int {
+	dc := &s.dDest[t]
+	dist := dc.state.Dist
+	dv := dist[s.linkTo[li]]
+	if dv >= spf.Inf {
+		return affectNone // the link can never lead to this destination
+	}
+	du := dist[s.linkFrom[li]]
+	if up {
+		switch nd := dv + int64(s.w.Delay[li]); {
+		case nd > du:
+			return affectNone
+		case nd == du:
+			return affectDAGOnly // joins the DAG at a distance tie
+		default:
+			return affectFull // strictly shorter: distances change
+		}
+	}
+	if du != dv+int64(s.w.Delay[li]) {
+		return affectNone // off the DAG: it carried nothing
+	}
+	// On the DAG; the cached adjacency gives the tail's ECMP out-degree.
+	if u := s.linkFrom[li]; dc.dagOff[u+1]-dc.dagOff[u] >= 2 {
+		return affectDAGOnly
+	}
+	return affectFull
+}
+
+// classifyThroughputLinkState is classifyDelayLinkState for the
+// throughput class; with no cached adjacency the leave-DAG case counts
+// the tail's tight successors by scanning its out-links.
+func (s *Session) classifyThroughputLinkState(t, li int, up bool) int {
+	st := &s.tStates[t]
+	dist := st.Dist
+	dv := dist[s.linkTo[li]]
+	if dv >= spf.Inf {
+		return affectNone
+	}
+	du := dist[s.linkFrom[li]]
+	if up {
+		switch nd := dv + int64(s.w.Throughput[li]); {
+		case nd > du:
+			return affectNone
+		case nd == du:
+			return affectDAGOnly
+		default:
+			return affectFull
+		}
+	}
+	if du != dv+int64(s.w.Throughput[li]) {
+		return affectNone
+	}
+	u := s.linkFrom[li]
+	k := 0
+	for _, lj := range s.e.g.OutLinks(int(u)) {
+		dvj := dist[s.linkTo[lj]]
+		if dvj < spf.Inf && du == dvj+int64(s.w.Throughput[lj]) && s.mask.LinkAlive(int(lj)) {
+			if k++; k >= 2 {
+				return affectDAGOnly
+			}
+		}
+	}
+	return affectFull
+}
+
+// SetDemands replaces the session's demand matrices — a demand-matrix
+// telemetry update — and re-bases the session on its current weights
+// with a full evaluation. Nil restores the evaluator's base matrix of
+// that class. Any pending Apply undo is cleared.
+func (s *Session) SetDemands(demD, demT *traffic.Matrix) Result {
+	if !s.inited {
+		panic("routing: Session.SetDemands before Init")
+	}
+	if demD == nil {
+		demD = s.e.demD
+	}
+	if demT == nil {
+		demT = s.e.demT
+	}
+	if demD.Size() != s.e.g.NumNodes() || demT.Size() != s.e.g.NumNodes() {
+		panic("routing: override traffic matrix size does not match graph")
+	}
+	s.demD, s.demT = demD, demT
+	return s.Init(s.w)
+}
+
+// Mask returns the session's failure mask (nil = intact topology). It is
+// owned by the session; callers must not mutate it directly — use
+// SetLinkState — but may read it to mirror the session's scenario.
+func (s *Session) Mask() *graph.Mask { return s.mask }
 
 func (s *Session) assemble(lambda, phi float64, violations, disconnected int, maxUtil, sumUtil float64, aliveLinks int) Result {
 	res := Result{
@@ -748,7 +968,7 @@ func (s *Session) destLambdaCached(dc *delayDest) (lambda float64, violations, d
 		}
 		out[u] = acc
 	}
-	return e.lambdaFromDelays(out, s.skipNode, int(dest), e.demD, nil)
+	return e.lambdaFromDelays(out, s.skipNode, int(dest), s.demD, nil)
 }
 
 func (s *Session) newContrib() []float64 {

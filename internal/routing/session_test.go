@@ -181,3 +181,196 @@ func TestSessionBytesPositive(t *testing.T) {
 		t.Error("SessionBytes must be positive")
 	}
 }
+
+// TestSessionSetLinkStateMatchesEvaluator drives a session through a
+// random stream of link-down/link-up events interleaved with weight
+// moves, reverts and rebases, checking bit-equality against the
+// from-scratch evaluator under a mirrored mask after every step — the
+// contract the control plane's event-driven selector relies on.
+func TestSessionSetLinkStateMatchesEvaluator(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 12, 60, 21)
+	g := ev.Graph()
+	m := g.NumLinks()
+	s := ev.NewSession(graph.NewMask(g), -1)
+	ref := graph.NewMask(g)
+	rng := rand.New(rand.NewSource(22))
+	w := RandomWeightSetting(m, 20, rng)
+	var want Result
+
+	check := func(step string) {
+		t.Helper()
+		ev.EvaluateDemands(w, ref, -1, nil, nil, &want)
+		requireSameResult(t, step, s.Result(), want)
+	}
+
+	s.Init(w)
+	check("init")
+	down := make([]bool, m)
+	for i := 0; i < 400; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.55:
+			li := rng.Intn(m)
+			if down[li] {
+				down[li] = false
+				ref.ReviveLink(li)
+				s.SetLinkState(li, true)
+				check("link-up")
+			} else {
+				down[li] = true
+				ref.FailLink(li)
+				s.SetLinkState(li, false)
+				check("link-down")
+			}
+		case r < 0.85:
+			l := rng.Intn(m)
+			wd := int32(1 + rng.Intn(20))
+			wt := int32(1 + rng.Intn(20))
+			prevD, prevT := w.Set(l, wd, wt)
+			s.Apply(l, wd, wt)
+			check("apply")
+			if rng.Float64() < 0.5 {
+				w.Set(l, prevD, prevT)
+				s.Revert()
+				check("revert")
+			}
+		default:
+			w = RandomWeightSetting(m, 20, rng)
+			s.Init(w)
+			check("rebase")
+		}
+	}
+}
+
+// TestSessionSetLinkStateNoop covers the degenerate paths: toggling to
+// the current state, toggling links whose endpoint node is down
+// (unobservable), and a nil-mask session receiving a link-up.
+func TestSessionSetLinkStateNoop(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 12, 60, 23)
+	g := ev.Graph()
+	rng := rand.New(rand.NewSource(24))
+	w := RandomWeightSetting(g.NumLinks(), 20, rng)
+
+	nil1 := ev.NewSession(nil, -1)
+	before := nil1.Init(w)
+	requireSameResult(t, "nil-mask link-up", nil1.SetLinkState(3, true), before)
+
+	v := 3
+	s := ev.NewNodeFailureSession(v)
+	ref := graph.NewMask(g)
+	ref.FailNode(v)
+	s.Init(w)
+	var want Result
+	check := func(step string) {
+		t.Helper()
+		ev.EvaluateDemands(w, ref, v, nil, nil, &want)
+		requireSameResult(t, step, s.Result(), want)
+	}
+	check("init")
+	// A link incident to the dead node: failing and restoring it is
+	// unobservable but must keep the session consistent.
+	var incident int = -1
+	for li := 0; li < g.NumLinks(); li++ {
+		if int(g.Link(li).From) == v || int(g.Link(li).To) == v {
+			incident = li
+			break
+		}
+	}
+	if incident < 0 {
+		t.Fatal("no link incident to failed node")
+	}
+	s.SetLinkState(incident, false)
+	ref.FailLink(incident)
+	check("incident down")
+	s.SetLinkState(incident, false) // already down
+	check("incident down again")
+	s.SetLinkState(incident, true)
+	ref.ReviveLink(incident)
+	check("incident up")
+	// And a normal toggle on the same session still tracks exactly.
+	other := (incident + 7) % g.NumLinks()
+	if int(g.Link(other).From) == v || int(g.Link(other).To) == v {
+		other = (other + 1) % g.NumLinks()
+	}
+	s.SetLinkState(other, false)
+	ref.FailLink(other)
+	check("other down")
+}
+
+// TestSessionScenarioDemandsMatchEvaluator checks sessions with demand
+// overrides (surge scenarios) against EvaluateDemands, through weight
+// moves and link events.
+func TestSessionScenarioDemandsMatchEvaluator(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 10, 50, 25)
+	g := ev.Graph()
+	m := g.NumLinks()
+	rng := rand.New(rand.NewSource(26))
+	demD := ev.DemandDelay().Clone().Scale(1.7)
+	h := traffic.DefaultHotspot(true)
+	_, demT := h.Apply(ev.DemandDelay(), ev.DemandThroughput(), rng)
+
+	s := ev.NewScenarioSession(graph.NewMask(g), -1, demD, demT)
+	ref := graph.NewMask(g)
+	w := RandomWeightSetting(m, 20, rng)
+	var want Result
+	check := func(step string) {
+		t.Helper()
+		ev.EvaluateDemands(w, ref, -1, demD, demT, &want)
+		requireSameResult(t, step, s.Result(), want)
+	}
+	s.Init(w)
+	check("init")
+	down := make([]bool, m)
+	for i := 0; i < 200; i++ {
+		if rng.Float64() < 0.3 {
+			li := rng.Intn(m)
+			down[li] = !down[li]
+			if down[li] {
+				ref.FailLink(li)
+			} else {
+				ref.ReviveLink(li)
+			}
+			s.SetLinkState(li, !down[li])
+			check("toggle")
+			continue
+		}
+		l := rng.Intn(m)
+		wd := int32(1 + rng.Intn(20))
+		wt := int32(1 + rng.Intn(20))
+		prevD, prevT := w.Set(l, wd, wt)
+		s.Apply(l, wd, wt)
+		check("apply")
+		if rng.Float64() < 0.5 {
+			w.Set(l, prevD, prevT)
+			s.Revert()
+			check("revert")
+		}
+	}
+}
+
+// TestSessionSetDemands swaps demand matrices on a live session and
+// checks the rebase (and later moves) stay bit-identical to the
+// evaluator under the same overrides.
+func TestSessionSetDemands(t *testing.T) {
+	ev := sessionTestEvaluator(t, topogen.RandKind, 10, 50, 27)
+	m := ev.Graph().NumLinks()
+	rng := rand.New(rand.NewSource(28))
+	w := RandomWeightSetting(m, 20, rng)
+	s := ev.NewSession(nil, -1)
+	s.Init(w)
+
+	surge := ev.DemandThroughput().Clone().Scale(2.5)
+	var want Result
+	s.SetDemands(nil, surge)
+	ev.EvaluateDemands(w, nil, -1, nil, surge, &want)
+	requireSameResult(t, "surge", s.Result(), want)
+
+	l := rng.Intn(m)
+	s.Apply(l, 7, 9)
+	w.Set(l, 7, 9)
+	ev.EvaluateDemands(w, nil, -1, nil, surge, &want)
+	requireSameResult(t, "apply under surge", s.Result(), want)
+
+	s.SetDemands(nil, nil)
+	ev.EvaluateDemands(w, nil, -1, nil, nil, &want)
+	requireSameResult(t, "restore base", s.Result(), want)
+}

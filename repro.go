@@ -315,6 +315,11 @@ type OptimizeOptions struct {
 	// robust objective weights each link-failure scenario by its
 	// probability. Incompatible with NodeFailures.
 	LinkFailureProbs []float64
+	// SessionMemoryBudgetBytes caps the memory Phase 2's per-scenario
+	// incremental sessions may claim; beyond it the search falls back
+	// to from-scratch sweeps with bit-identical results. 0 keeps the
+	// 1 GiB default (opt.DefaultSessionBudgetBytes).
+	SessionMemoryBudgetBytes int64
 	// Seed drives the search.
 	Seed int64
 }
@@ -357,13 +362,12 @@ type OptimizeResult struct {
 	Phase1Stats, Phase2Stats SearchStats
 }
 
-// Optimize runs the paper's pipeline on the network and returns the
-// regular and robust routings.
-func (n *Network) Optimize(opts OptimizeOptions) (*OptimizeResult, error) {
-	var cfg opt.Config
-	switch opts.Budget {
+// optConfigForBudget maps a facade budget name to an optimizer
+// configuration, shared by Optimize and BuildLibrary.
+func optConfigForBudget(budget string) (opt.Config, error) {
+	switch budget {
 	case "quick":
-		cfg = opt.QuickConfig()
+		cfg := opt.QuickConfig()
 		cfg.Tau = 3
 		cfg.MaxIter1 = 14
 		cfg.MaxIter2 = 8
@@ -372,14 +376,24 @@ func (n *Network) Optimize(opts OptimizeOptions) (*OptimizeResult, error) {
 		cfg.P1 = 2
 		cfg.P2 = 1
 		cfg.MaxTopUpBatches = 4
+		return cfg, nil
 	case "std", "":
-		cfg = opt.QuickConfig()
+		return opt.QuickConfig(), nil
 	case "paper":
-		cfg = opt.DefaultConfig()
-	default:
-		return nil, fmt.Errorf("repro: unknown budget %q (quick|std|paper)", opts.Budget)
+		return opt.DefaultConfig(), nil
+	}
+	return opt.Config{}, fmt.Errorf("repro: unknown budget %q (quick|std|paper)", budget)
+}
+
+// Optimize runs the paper's pipeline on the network and returns the
+// regular and robust routings.
+func (n *Network) Optimize(opts OptimizeOptions) (*OptimizeResult, error) {
+	cfg, err := optConfigForBudget(opts.Budget)
+	if err != nil {
+		return nil, err
 	}
 	cfg.Seed = opts.Seed
+	cfg.SessionBudgetBytes = opts.SessionMemoryBudgetBytes
 	frac := opts.CriticalFraction
 	if frac == 0 {
 		frac = cfg.TargetCriticalFrac

@@ -72,8 +72,11 @@ func (n *Network) TrafficScaleScenarios(factors ...float64) *ScenarioSet {
 }
 
 // MergeScenarios concatenates sets built from this network into one
-// named set, preserving order.
+// named set, preserving order. At least one set must be given.
 func (n *Network) MergeScenarios(name string, sets ...*ScenarioSet) (*ScenarioSet, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("repro: MergeScenarios %q: no scenario sets given", name)
+	}
 	parts := make([]scenario.Set, len(sets))
 	for i, s := range sets {
 		if s == nil {

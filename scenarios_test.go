@@ -77,6 +77,47 @@ func TestRunScenariosErrorPaths(t *testing.T) {
 	if _, err := net.MergeScenarios("x", nil); err == nil {
 		t.Error("merge of nil set accepted")
 	}
+	if _, err := net.MergeScenarios("x"); err == nil || !strings.Contains(err.Error(), "no scenario sets") {
+		t.Errorf("merge of zero sets error = %v", err)
+	}
+}
+
+// TestScenarioBuildersDeterministicInSeed pins the sampled generators'
+// determinism contract: the same seed reproduces the same scenarios
+// (names and evaluations), a different seed produces a different draw.
+func TestScenarioBuildersDeterministicInSeed(t *testing.T) {
+	net := smallNet(t)
+	r := net.RandomRouting(3)
+
+	duaA := net.DualLinkFailureScenarios(25, 42)
+	duaB := net.DualLinkFailureScenarios(25, 42)
+	if !reflect.DeepEqual(duaA.ScenarioNames(), duaB.ScenarioNames()) {
+		t.Error("DualLinkFailureScenarios not deterministic in seed")
+	}
+	if reflect.DeepEqual(duaA.ScenarioNames(), net.DualLinkFailureScenarios(25, 43).ScenarioNames()) {
+		t.Error("DualLinkFailureScenarios ignores the seed")
+	}
+
+	// Hot-spot surges carry their randomness in the matrices, not the
+	// names, so compare evaluations.
+	hotA, err := net.RunScenarios(net.HotspotSurgeScenarios(true, 6, 42), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotB, err := net.RunScenarios(net.HotspotSurgeScenarios(true, 6, 42), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hotA.PerScenario, hotB.PerScenario) {
+		t.Error("HotspotSurgeScenarios not deterministic in seed")
+	}
+	hotC, err := net.RunScenarios(net.HotspotSurgeScenarios(true, 6, 43), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(hotA.PerScenario, hotC.PerScenario) {
+		t.Error("HotspotSurgeScenarios ignores the seed")
+	}
 }
 
 // TestRunScenariosMatchesSerialFailureLoop is the tentpole acceptance

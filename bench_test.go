@@ -16,9 +16,11 @@ import (
 	"repro/internal/cost"
 	"repro/internal/ctrl"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/opt"
 	"repro/internal/routing"
 	"repro/internal/scenario"
+	"repro/internal/spf"
 	"repro/internal/topogen"
 	"repro/internal/traffic"
 )
@@ -264,16 +266,19 @@ func BenchmarkPhase1Iteration(b *testing.B) {
 	}
 }
 
-// Phase 1 on the paper's 16-node ISP backbone, from-scratch versus
-// delta-SPF sessions. The two visit identical moves (bit-identical
+// Phase 1 from-scratch versus delta-SPF sessions (which repair their
+// SPF snapshots in place on every Dijkstra-required move; see
+// spf/repair.go). The two visit identical moves (bit-identical
 // Solutions; see opt's equivalence tests), so the time ratio
 // Full/Incremental is the incremental engine's speedup and is tracked
 // per-PR in CI. The evals_per_sec metric is the comparable throughput
-// number.
-func benchPhase1ISP(b *testing.B, fullEval bool) {
+// number. Measured on the paper's 16-node ISP backbone and — where the
+// repair's small changed-vertex sets pay off most — the Table III
+// 100-node RandTopo.
+func benchPhase1(b *testing.B, spec topogen.Spec, fullEval bool) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(1))
-	g, err := topogen.Generate(topogen.Spec{Kind: topogen.ISPKind}, rng)
+	g, err := topogen.Generate(spec, rng)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -297,9 +302,70 @@ func benchPhase1ISP(b *testing.B, fullEval bool) {
 	b.ReportMetric(stats.EvalsPerSec(), "evals_per_sec")
 }
 
-func BenchmarkPhase1Full(b *testing.B) { benchPhase1ISP(b, true) }
+func BenchmarkPhase1Full(b *testing.B) {
+	benchPhase1(b, topogen.Spec{Kind: topogen.ISPKind}, true)
+}
 
-func BenchmarkPhase1Incremental(b *testing.B) { benchPhase1ISP(b, false) }
+func BenchmarkPhase1Incremental(b *testing.B) {
+	benchPhase1(b, topogen.Spec{Kind: topogen.ISPKind}, false)
+}
+
+func BenchmarkPhase1Full100(b *testing.B) {
+	benchPhase1(b, topogen.Spec{Kind: topogen.RandKind, Nodes: 100, DirectedLinks: 500}, true)
+}
+
+func BenchmarkPhase1Incremental100(b *testing.B) {
+	benchPhase1(b, topogen.Spec{Kind: topogen.RandKind, Nodes: 100, DirectedLinks: 500}, false)
+}
+
+// BenchmarkRepairVsDijkstra isolates the tentpole primitive: one
+// destination's SPF on the Table III 100-node RandTopo maintained
+// through link-down/link-up event pairs, by a fresh Dijkstra per event
+// versus a Ramalingam–Reps repair of the standing state (the link-event
+// path routing.Session.SetLinkState and the ctrl.Selector ride). Each
+// iteration is two events; the FullDijkstra/Repair ns/op ratio is the
+// repair's speedup and is tracked per-PR in CI.
+func BenchmarkRepairVsDijkstra(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := topogen.Generate(topogen.Spec{Kind: topogen.RandKind, Nodes: 100, DirectedLinks: 500}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := g.NumLinks()
+	w := make([]int32, m)
+	for i := range w {
+		w[i] = int32(1 + rng.Intn(20))
+	}
+	const dest = 0
+	b.Run("FullDijkstra", func(b *testing.B) {
+		ws := spf.NewWorkspace(g)
+		mask := graph.NewMask(g)
+		ws.Run(g, w, dest, mask)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			li := i % m
+			mask.FailLink(li)
+			ws.Run(g, w, dest, mask)
+			mask.ReviveLink(li)
+			ws.Run(g, w, dest, mask)
+		}
+	})
+	b.Run("Repair", func(b *testing.B) {
+		ws := spf.NewWorkspace(g)
+		mask := graph.NewMask(g)
+		ws.Run(g, w, dest, mask)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			li := i % m
+			mask.FailLink(li)
+			ws.RepairLinkDown(g, w, li, mask)
+			mask.ReviveLink(li)
+			ws.RepairLinkUp(g, w, li, mask)
+		}
+	})
+}
 
 // BenchmarkSelectorAdvise measures the control plane's event-to-advice
 // pipeline on a library of 8 configurations over the Table III 100-node

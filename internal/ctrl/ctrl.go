@@ -1,28 +1,1 @@
-// Package ctrl is the online control plane of the routing system: the
-// piece that runs as a service rather than a batch experiment. It has
-// three parts, mirroring the flexibility axis of the paper — adapting
-// routing to shifting traffic and failures with a bounded number of
-// weight changes:
-//
-//   - a configuration Library of k weight settings, precomputed by
-//     clustering the scenario space (failure and surge scenarios from
-//     internal/scenario) and running the two-phase optimizer once per
-//     cluster (opt.RunPhase2Set), stored with per-scenario objective
-//     fingerprints;
-//   - an event-driven Selector that consumes a telemetry stream (link
-//     up/down, demand-matrix updates), keeps one persistent
-//     routing.Session per candidate configuration for incremental
-//     re-scoring, and picks the best library entry for the current
-//     conditions;
-//   - a migration Planner that turns "switch from W_cur to W_tgt" into
-//     a minimal-diff change set under a MaxChanges budget, with an
-//     apply order chosen greedily so every intermediate step is
-//     loop-free and SLA-evaluated, falling back to staged partial
-//     migration when the budget binds.
-//
-// Scoring is exact: the selector's per-configuration results and the
-// planner's per-step results are bit-identical to what the from-scratch
-// Evaluator computes for the same conditions (the routing.Session
-// contract), so an offline oracle can audit every online decision. See
-// DESIGN.md ("The online control plane") for the invariants.
 package ctrl

@@ -79,10 +79,12 @@ type Config struct {
 	SessionBudgetBytes int64
 	// FullEval disables the incremental evaluation engine: every move in
 	// the Phase 1/Phase 2 inner loops is evaluated from scratch instead
-	// of through delta-SPF sessions. The two modes visit the same moves
-	// with the same RNG stream and produce bit-identical Solutions (the
-	// sessions' contract, see routing.Session); FullEval exists as the
-	// oracle for equivalence tests and as the benchmark baseline.
+	// of through delta-SPF sessions (which themselves repair affected
+	// SPF snapshots in place rather than re-running Dijkstra; see
+	// spf/repair.go). The two modes visit the same moves with the same
+	// RNG stream and produce bit-identical Solutions (the sessions'
+	// contract, see routing.Session); FullEval exists as the oracle for
+	// equivalence tests and as the benchmark baseline.
 	FullEval bool
 	// Seed drives all randomness.
 	Seed int64

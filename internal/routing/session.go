@@ -16,13 +16,18 @@ import (
 //   - the per-link load/delay/utilization aggregates, and
 //   - each destination's Λ subtotal, violation and disconnection counts.
 //
-// Apply(l, wd, wt) re-runs Dijkstra only for destinations whose
-// distances a change can touch (classifyDelay/classifyThroughput;
-// membership-only changes refresh the DAG and ECMP split without a
-// Dijkstra), folds the new contributions into the link loads, and
-// re-runs the delay DP only for destinations whose DAG changed or
-// crosses a link whose delay value moved. Revert undoes the last Apply
-// exactly.
+// Apply(l, wd, wt) touches shortest-path state only for destinations
+// whose distances a change can reach (classifyDelay/classifyThroughput;
+// membership-only changes refresh the DAG and ECMP split without
+// touching distances), and even those destinations are not re-solved
+// from scratch: their snapshots are repaired in place (Ramalingam–Reps
+// incremental SPF, spf.State.Repair), revisiting only the vertices
+// whose distance actually moved. Apply then folds the new contributions
+// into the link loads and re-runs the delay DP only for destinations
+// whose DAG changed or crosses a link whose delay value moved. Revert
+// undoes the last Apply exactly. Full Dijkstras remain only where no
+// repairable pre-change snapshot exists: Init and the SetDemands
+// rebase.
 //
 // Every Apply/Init result is bit-identical to what the stateless
 // Evaluator.Evaluate computes for the same weights and scenario: the
@@ -79,7 +84,24 @@ type Session struct {
 	freeContrib [][]float64
 	canRevert   bool
 	inited      bool
+
+	// chg describes the single-link event driving the current recompute,
+	// so Dijkstra-required destinations can repair their snapshots
+	// (spf.State.Repair / Workspace.RepairLink*) instead of re-running
+	// Dijkstra. Init and SetDemands rebase from scratch and never set it.
+	chg struct {
+		kind       int // chgWeight, chgLinkDown, chgLinkUp
+		link       int
+		oldD, oldT int32 // pre-move class weights (chgWeight only)
+	}
 }
+
+// Kinds of single-link change a recompute can repair from.
+const (
+	chgWeight = iota
+	chgLinkDown
+	chgLinkUp
+)
 
 // delayDest is one destination's delay-class cache: the SPF snapshot plus
 // the materialized ECMP DAG out-adjacency (dagLinks[dagOff[u]:dagOff[u+1]]
@@ -310,6 +332,7 @@ func (s *Session) Apply(l int, wd, wt int32) Result {
 	u.droppedT = s.droppedT
 	s.w.Set(l, wd, wt)
 	s.canRevert = true
+	s.chg.kind, s.chg.link, s.chg.oldD, s.chg.oldT = chgWeight, l, oldD, oldT
 
 	if len(s.affD)+len(s.dagD) == 0 && len(s.affT)+len(s.dagT) == 0 {
 		// No destination's routing can change in either class, so loads,
@@ -345,29 +368,52 @@ func (s *Session) recompute(u *undoState) {
 
 	// Recompute the affected destinations of each class, stashing the old
 	// snapshots/contributions and collecting links whose load terms
-	// changed. Full recomputes re-run Dijkstra; membership-only ones keep
-	// the (provably unchanged) distances and just refresh the DAG and the
+	// changed. Dijkstra-required recomputes repair the pre-change snapshot
+	// (Ramalingam–Reps: only the vertices whose distance moved are
+	// revisited; see spf/repair.go); membership-only ones keep the
+	// (provably unchanged) distances and just refresh the DAG and the
 	// ECMP load split.
 	s.markEpoch++
 	s.chgLinks = s.chgLinks[:0]
 	for _, t := range s.affD {
 		u.oldDDest = append(u.oldDDest, s.dDest[t])
 		s.dDest[t] = s.newDest()
-		s.ws.Run(g, s.w.Delay, t, s.mask)
-		s.ws.Save(&s.dDest[t].state)
+		st := &s.dDest[t].state
+		st.CopyFrom(&u.oldDDest[len(u.oldDDest)-1].state)
+		switch s.chg.kind {
+		case chgWeight:
+			st.Repair(s.ws, g, s.w.Delay, s.chg.link, s.chg.oldD, s.w.Delay[s.chg.link], s.mask)
+		case chgLinkDown:
+			st.RepairLink(s.ws, g, s.w.Delay, s.chg.link, false, s.mask)
+		case chgLinkUp:
+			st.RepairLink(s.ws, g, s.w.Delay, s.chg.link, true, s.mask)
+		}
 		s.refreshDelayDest(t, s.demD, u)
 	}
 	for _, t := range s.dagD {
 		u.oldDDest = append(u.oldDDest, s.dDest[t])
 		s.dDest[t] = s.newDest()
+		// Distances are provably unchanged; the refresh reads the copied
+		// snapshot directly (the workspace is only needed by the
+		// throughput class's load accumulation below).
 		s.dDest[t].state.CopyFrom(&u.oldDDest[len(u.oldDDest)-1].state)
-		s.ws.Restore(&s.dDest[t].state)
 		s.refreshDelayDest(t, s.demD, u)
 	}
 	for _, t := range s.affT {
 		u.oldTStates = append(u.oldTStates, s.tStates[t])
 		s.tStates[t] = s.newState()
-		s.ws.Run(g, s.w.Throughput, t, s.mask)
+		// The throughput refresh accumulates loads off the workspace, so
+		// repair the snapshot inside it: restore the pre-change state,
+		// repair in place, save the result.
+		s.ws.Restore(&u.oldTStates[len(u.oldTStates)-1])
+		switch s.chg.kind {
+		case chgWeight:
+			s.ws.Repair(g, s.w.Throughput, s.chg.link, s.chg.oldT, s.w.Throughput[s.chg.link], s.mask)
+		case chgLinkDown:
+			s.ws.RepairLinkDown(g, s.w.Throughput, s.chg.link, s.mask)
+		case chgLinkUp:
+			s.ws.RepairLinkUp(g, s.w.Throughput, s.chg.link, s.mask)
+		}
 		s.ws.Save(&s.tStates[t])
 		s.refreshThroughputDest(t, s.demT, u)
 	}
@@ -591,9 +637,12 @@ func (s *Session) SetLinkState(li int, up bool) Result {
 	}
 	if up {
 		s.mask.ReviveLink(li)
+		s.chg.kind = chgLinkUp
 	} else {
 		s.mask.FailLink(li)
+		s.chg.kind = chgLinkDown
 	}
+	s.chg.link = li
 	u.res = s.res
 	u.droppedT = s.droppedT
 	s.recompute(u)

@@ -1,11 +1,3 @@
-// Package spf implements the shortest-path machinery for destination-based
-// routing with ECMP: reverse Dijkstra toward a destination, membership in
-// the resulting shortest-path DAG, all-to-one traffic accumulation with
-// even splitting (the standard OSPF/Fortz–Thorup model), and per-source
-// worst/mean path-delay dynamic programs over the DAG.
-//
-// All entry points operate through a reusable Workspace so that hot loops
-// (thousands of evaluations per optimization run) allocate nothing.
 package spf
 
 import (
@@ -50,6 +42,17 @@ type Workspace struct {
 	// lfrom/lto alias the graph's shared endpoint arrays so hot
 	// DAG-membership tests avoid copying whole Link structs.
 	lfrom, lto []int32
+
+	// Repair scratch (see repair.go). The epoch-marked arrays never need
+	// clearing between repairs; cand holds tentative distances for the
+	// affected set of an increase repair.
+	cand      []int64
+	aMark     []int32 // this epoch: node's distance changed (or joined the affected set)
+	qMark     []int32 // this epoch: node queued as an affected-set candidate
+	repEpoch  int32
+	affList   []int32 // affected set of the current increase repair
+	chgSorted []int32 // changed nodes, ascending by new distance
+	order2    []int32 // scratch for the merged settled order
 }
 
 // NewWorkspace returns a Workspace sized for g.
@@ -63,17 +66,23 @@ func NewWorkspace(g *graph.Graph) *Workspace {
 	}
 	lfrom, lto := g.LinkEndpoints()
 	return &Workspace{
-		n:      n,
-		g:      g,
-		dist:   make([]int64, n),
-		order:  make([]int32, 0, n),
-		heap:   make([]heapEntry, 0, n*2),
-		flow:   make([]float64, n),
-		val:    make([]float64, n),
-		lflow:  make([]float64, g.NumLinks()),
-		dagOut: make([]int32, maxDeg),
-		lfrom:  lfrom,
-		lto:    lto,
+		n:         n,
+		g:         g,
+		dist:      make([]int64, n),
+		order:     make([]int32, 0, n),
+		heap:      make([]heapEntry, 0, n*2),
+		flow:      make([]float64, n),
+		val:       make([]float64, n),
+		lflow:     make([]float64, g.NumLinks()),
+		dagOut:    make([]int32, maxDeg),
+		lfrom:     lfrom,
+		lto:       lto,
+		cand:      make([]int64, n),
+		aMark:     make([]int32, n),
+		qMark:     make([]int32, n),
+		affList:   make([]int32, 0, n),
+		chgSorted: make([]int32, 0, n),
+		order2:    make([]int32, 0, n),
 	}
 }
 

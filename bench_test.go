@@ -367,6 +367,101 @@ func BenchmarkRepairVsDijkstra(b *testing.B) {
 	})
 }
 
+// BenchmarkSetDemandsFullVsDelta isolates the demand-delta tentpole: a
+// single-hotspot surge (every source into one destination column
+// scaled, so O(1) of the n columns move) applied and recovered on a
+// persistent session over the Table III 100-node RandTopo. Full forces
+// the pre-delta behavior — every demand update pays a complete rebase
+// (2n Dijkstras + load/delay passes) — via a zero rebase threshold;
+// Delta is the shipped path, which keeps all SPF state untouched and
+// recomputes only the changed columns' contributions and Λ subtotals.
+// Each iteration is two demand events (surge + restore); the
+// Full/Delta ns/op ratio is the demand path's speedup and is tracked
+// per-PR by the CI benchmark gate (acceptance bar: ≥5×).
+func BenchmarkSetDemandsFullVsDelta(b *testing.B) {
+	ev, w := benchEvaluator(b, 100, 500)
+	const hot = 17
+	surD := ev.DemandDelay().Clone()
+	surT := ev.DemandThroughput().Clone()
+	for s := 0; s < 100; s++ {
+		if s == hot {
+			continue
+		}
+		surD.Set(s, hot, surD.At(s, hot)*4)
+		surT.Set(s, hot, surT.At(s, hot)*4)
+	}
+	run := func(b *testing.B, frac float64) {
+		ses := ev.NewScenarioSession(nil, -1, nil, nil)
+		ses.SetDemandRebaseThreshold(frac)
+		ses.Init(w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ses.SetDemands(surD, surT)
+			ses.SetDemands(nil, nil)
+		}
+	}
+	b.Run("Full", func(b *testing.B) { run(b, 0) })
+	b.Run("Delta", func(b *testing.B) { run(b, 0.5) })
+}
+
+// BenchmarkSelectorAdviseSurge is BenchmarkSelectorAdvise's
+// surge-heavy twin: the same 8-configuration library over the 100-node
+// RandTopo driven by sparse demand-delta telemetry — one hotspot
+// column surged, an advice scan, and the inverse delta — so every
+// event re-scores all 8 candidates through the demand-delta path.
+// events_per_sec is the demand-telemetry throughput one selector
+// sustains.
+func BenchmarkSelectorAdviseSurge(b *testing.B) {
+	ev, _ := benchEvaluator(b, 100, 500)
+	rng := rand.New(rand.NewSource(2))
+	n := ev.Graph().NumNodes()
+	ws := make([]*routing.WeightSetting, 8)
+	for i := range ws {
+		ws[i] = routing.RandomWeightSetting(ev.Graph().NumLinks(), 20, rng)
+	}
+	lib, err := ctrl.FromWeightSettings(ev, nil, ws, scenario.Set{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel, err := ctrl.NewSelector(ev, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One surge delta per destination column (×4 on both classes), with
+	// its exact inverse.
+	onsets := make([]*traffic.Delta, n)
+	recoveries := make([]*traffic.Delta, n)
+	for t := 0; t < n; t++ {
+		surged := ev.DemandDelay().Clone()
+		for s := 0; s < n; s++ {
+			if s != t {
+				surged.Set(s, t, surged.At(s, t)*4)
+			}
+		}
+		onsets[t] = traffic.Diff(ev.DemandDelay(), surged)
+		recoveries[t] = onsets[t].Inverse()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		t := i % n
+		if err := sel.Observe(scenario.Event{Kind: scenario.EventDemandDelta, DeltaD: onsets[t]}); err != nil {
+			b.Fatal(err)
+		}
+		if best, _ := sel.Advise(); best < 0 || best >= 8 {
+			b.Fatal("bad advice")
+		}
+		if err := sel.Observe(scenario.Event{Kind: scenario.EventDemandDelta, DeltaD: recoveries[t]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if d := time.Since(start).Seconds(); d > 0 {
+		b.ReportMetric(float64(2*b.N)/d, "events_per_sec")
+	}
+}
+
 // BenchmarkSelectorAdvise measures the control plane's event-to-advice
 // pipeline on a library of 8 configurations over the Table III 100-node
 // RandTopo: one link-down event, an advice scan, and the recovering

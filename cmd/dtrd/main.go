@@ -10,7 +10,9 @@
 //	dtrd -topology rand -nodes 20 -links 100 -build 3 -replay   # replay a failure+surge day, print decisions, exit
 //
 // Endpoints: GET /state /advise /config /metrics /healthz,
-// POST /observe {"kind":"link-down","link":3}, POST /plan and /apply
+// POST /observe {"kind":"link-down","link":3} (also "demand-scale"
+// with "scale", and sparse "demand-delta" with per-class
+// "deltad"/"deltat" entry lists), POST /plan and /apply
 // {"target":1,"max_changes":4}.
 package main
 

@@ -151,6 +151,61 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestServerObserveDemandDelta drives the sparse demand wire form:
+// /observe accepts a demand-delta event, scores shift, duplicate
+// deltas dedupe without fanning out, a base restore returns the exact
+// starting scores, and malformed deltas surface as 400s.
+func TestServerObserveDemandDelta(t *testing.T) {
+	ts, _ := testServer(t)
+
+	var before repro.ControllerState
+	getJSON(t, ts.URL+"/state", &before)
+
+	surge := repro.ControlEvent{Kind: "demand-delta",
+		DeltaT: &repro.DemandDelta{Entries: []repro.DemandDeltaEntry{
+			{S: 0, T: 2, New: 80}, {S: 5, T: 2, New: 40},
+		}}}
+	if code := postJSON(t, ts.URL+"/observe", surge, nil); code != http.StatusOK {
+		t.Fatalf("observe demand-delta returned %d", code)
+	}
+	var st repro.ControllerState
+	getJSON(t, ts.URL+"/state", &st)
+	if st.Events != 1 {
+		t.Fatalf("events = %d after surge", st.Events)
+	}
+	if st.Deployed == before.Deployed {
+		t.Fatal("surge did not change the deployed evaluation")
+	}
+
+	// Restating the surged values is a no-op: no fan-out, no event.
+	if code := postJSON(t, ts.URL+"/observe", surge, nil); code != http.StatusOK {
+		t.Fatalf("duplicate demand-delta returned %d", code)
+	}
+	getJSON(t, ts.URL+"/state", &st)
+	if st.Events != 1 {
+		t.Fatalf("duplicate delta counted: events = %d", st.Events)
+	}
+
+	// Restoring base traffic returns the exact starting scores.
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "demand-scale", Scale: 1}, nil); code != http.StatusOK {
+		t.Fatalf("base restore returned %d", code)
+	}
+	getJSON(t, ts.URL+"/state", &st)
+	if st.Deployed != before.Deployed {
+		t.Fatalf("deployed evaluation did not return to base: %+v vs %+v", st.Deployed, before.Deployed)
+	}
+
+	for _, bad := range []repro.ControlEvent{
+		{Kind: "demand-delta", DeltaD: &repro.DemandDelta{Entries: []repro.DemandDeltaEntry{{S: 1, T: 1, New: 5}}}},
+		{Kind: "demand-delta", DeltaT: &repro.DemandDelta{Entries: []repro.DemandDeltaEntry{{S: 0, T: 99, New: 5}}}},
+		{Kind: "demand-delta", DeltaT: &repro.DemandDelta{Entries: []repro.DemandDeltaEntry{{S: 0, T: 1, New: -5}}}},
+	} {
+		if code := postJSON(t, ts.URL+"/observe", bad, nil); code != http.StatusBadRequest {
+			t.Errorf("invalid delta %+v returned %d", bad, code)
+		}
+	}
+}
+
 // TestServerConcurrentRequests hammers every endpoint from many
 // goroutines; run under -race (CI does) this is the daemon's
 // concurrency acceptance test.
@@ -209,6 +264,16 @@ func TestServerConcurrentRequests(t *testing.T) {
 				if err := post(ts.URL+"/observe", repro.ControlEvent{Kind: kind, Link: link}, nil); err != nil {
 					errs <- err
 					continue
+				}
+				if i%4 == 3 {
+					delta := repro.ControlEvent{Kind: "demand-delta",
+						DeltaT: &repro.DemandDelta{Entries: []repro.DemandDeltaEntry{
+							{S: k % 8, T: (k + 3) % 8, New: float64(10 + i)},
+						}}}
+					if err := post(ts.URL+"/observe", delta, nil); err != nil {
+						errs <- err
+						continue
+					}
 				}
 				var adv repro.Advice
 				if err := get(ts.URL+"/advise", &adv); err != nil {

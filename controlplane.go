@@ -7,6 +7,7 @@ import (
 	"repro/internal/ctrl"
 	"repro/internal/routing"
 	"repro/internal/scenario"
+	"repro/internal/traffic"
 )
 
 // Library is a set of precomputed routing configurations covering a
@@ -119,18 +120,35 @@ func (n *Network) BuildLibrary(set *ScenarioSet, opts LibraryOptions) (*Library,
 	return &Library{lib: lib, net: n}, nil
 }
 
+// DemandDelta is a sparse demand update: the (source, destination)
+// entries whose demand changes, each carrying the value before and
+// after in Mbps. It is the wire form of a traffic shift that touches
+// few pairs — a hot-spot surge touches O(1) of the n destination
+// columns — and the control plane evaluates it incrementally,
+// recomputing only the touched columns per candidate configuration.
+// JSON shape: {"entries":[{"s":0,"t":3,"old":1.5,"new":6.0},…]}.
+type DemandDelta = traffic.Delta
+
+// DemandDeltaEntry is one entry of a DemandDelta.
+type DemandDeltaEntry = traffic.DeltaEntry
+
 // ControlEvent is one telemetry update fed to a Controller: a directed
-// link going down or coming back, or a uniform demand-scale update.
-// Richer traffic shifts (hot-spot surges) enter through
-// Controller.ReplayEpisode, which replays scenario-set episodes.
+// link going down or coming back, a uniform demand-scale update, or a
+// sparse demand-delta update. Richer dense traffic shifts enter
+// through Controller.ReplayEpisode, which replays scenario-set
+// episodes.
 type ControlEvent struct {
-	// Kind is "link-down", "link-up" or "demand-scale".
+	// Kind is "link-down", "link-up", "demand-scale" or "demand-delta".
 	Kind string
 	// Link is the directed link index of a link event.
 	Link int
 	// Scale multiplies the base demand matrices of both classes on a
 	// "demand-scale" event; 0 or 1 restores the base traffic.
 	Scale float64
+	// DeltaD and DeltaT are the per-class sparse updates of a
+	// "demand-delta" event (nil = no change in that class), applied on
+	// top of the demand state currently in effect.
+	DeltaD, DeltaT *DemandDelta
 }
 
 // Controller is the online control plane of one network: it tracks
@@ -187,8 +205,10 @@ func (c *Controller) Observe(e ControlEvent) error {
 			ev.DemT = c.net.demT.Clone().Scale(e.Scale)
 		}
 		return c.sel.Observe(ev)
+	case "demand-delta":
+		return c.sel.Observe(scenario.Event{Kind: scenario.EventDemandDelta, DeltaD: e.DeltaD, DeltaT: e.DeltaT})
 	}
-	return fmt.Errorf("repro: unknown event kind %q (link-down|link-up|demand-scale)", e.Kind)
+	return fmt.Errorf("repro: unknown event kind %q (link-down|link-up|demand-scale|demand-delta)", e.Kind)
 }
 
 // ReplayEpisode replays scenario i of the set as telemetry: its onset

@@ -214,6 +214,14 @@ func TestSelectorObserveErrors(t *testing.T) {
 	if err := sel.Observe(scenario.Event{Kind: scenario.EventDemand, DemD: traffic.NewMatrix(3)}); err == nil {
 		t.Error("mismatched demand matrix accepted")
 	}
+	if err := sel.Observe(scenario.Event{Kind: scenario.EventDemandDelta,
+		DeltaD: &traffic.Delta{Entries: []traffic.DeltaEntry{{S: 0, T: 0, New: 1}}}}); err == nil {
+		t.Error("diagonal delta entry accepted")
+	}
+	if err := sel.Observe(scenario.Event{Kind: scenario.EventDemandDelta,
+		DeltaT: &traffic.Delta{Entries: []traffic.DeltaEntry{{S: 0, T: 999, New: 1}}}}); err == nil {
+		t.Error("out-of-range delta entry accepted")
+	}
 	// Duplicate events are idempotent.
 	if err := sel.Observe(scenario.Event{Kind: scenario.EventLinkDown, Link: 2}); err != nil {
 		t.Fatal(err)
@@ -224,6 +232,140 @@ func TestSelectorObserveErrors(t *testing.T) {
 	}
 	if got := sel.Result(0); got.Cost != before.Cost {
 		t.Error("duplicate link-down changed the result")
+	}
+}
+
+// TestSelectorDemandDedup pins the no-op demand handling: demand
+// events whose matrices (or delta entries) equal the state in effect
+// must not fan out to the candidate sessions — mirroring the existing
+// duplicate-link-event dedup — while genuinely new demands must.
+func TestSelectorDemandDedup(t *testing.T) {
+	ev := ctrlTestEvaluator(t, 8, 40, 14)
+	rng := rand.New(rand.NewSource(15))
+	ws := []*routing.WeightSetting{
+		routing.RandomWeightSetting(ev.Graph().NumLinks(), 20, rng),
+		routing.RandomWeightSetting(ev.Graph().NumLinks(), 20, rng),
+	}
+	lib, err := FromWeightSettings(ev, nil, ws, scenario.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelector(ev, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Base-equal matrices and nil matrices are both "no change".
+	for _, e := range []scenario.Event{
+		{Kind: scenario.EventDemand},
+		{Kind: scenario.EventDemand, DemD: ev.DemandDelay().Clone(), DemT: ev.DemandThroughput().Clone()},
+		{Kind: scenario.EventDemandDelta},
+		{Kind: scenario.EventDemandDelta, DeltaD: &traffic.Delta{Entries: []traffic.DeltaEntry{
+			{S: 0, T: 1, New: ev.DemandDelay().At(0, 1)}}}},
+	} {
+		if err := sel.Observe(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sel.Events() != 0 {
+		t.Fatalf("no-op demand events counted: %d", sel.Events())
+	}
+
+	// A real surge counts, and repeating its dense rendering does not.
+	surgeT := ev.DemandThroughput().Clone()
+	surgeT.Set(0, 2, surgeT.At(0, 2)*3)
+	if err := sel.Observe(scenario.Event{Kind: scenario.EventDemand, DemT: surgeT}); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Events() != 1 {
+		t.Fatalf("surge not counted: %d events", sel.Events())
+	}
+	if err := sel.Observe(scenario.Event{Kind: scenario.EventDemand, DemT: surgeT.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Events() != 1 {
+		t.Fatal("repeated surge matrices fanned out again")
+	}
+	// A delta restating the surged value is also a no-op; one moving it
+	// back to base is not, and the scores return to the base state.
+	if err := sel.Observe(scenario.Event{Kind: scenario.EventDemandDelta,
+		DeltaT: &traffic.Delta{Entries: []traffic.DeltaEntry{{S: 0, T: 2, New: surgeT.At(0, 2)}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Events() != 1 {
+		t.Fatal("no-op delta fanned out")
+	}
+	if err := sel.Observe(scenario.Event{Kind: scenario.EventDemandDelta,
+		DeltaT: &traffic.Delta{Entries: []traffic.DeltaEntry{{S: 0, T: 2, New: ev.DemandThroughput().At(0, 2)}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Events() != 2 {
+		t.Fatal("restoring delta not counted")
+	}
+	var want routing.Result
+	for i := range ws {
+		ev.EvaluateDemands(ws[i], nil, -1, nil, nil, &want)
+		got := sel.Result(i)
+		if got.Cost != want.Cost || got.Violations != want.Violations {
+			t.Fatalf("config %d not back at base after inverse delta: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+// TestSelectorDeltaMatchesDense feeds the same surge once as a sparse
+// delta and once as dense matrices to two selectors; every cached score
+// must agree bit for bit (the demand-delta path's equivalence contract
+// at the control-plane level).
+func TestSelectorDeltaMatchesDense(t *testing.T) {
+	ev := ctrlTestEvaluator(t, 10, 50, 16)
+	rng := rand.New(rand.NewSource(17))
+	ws := make([]*routing.WeightSetting, 3)
+	for i := range ws {
+		ws[i] = routing.RandomWeightSetting(ev.Graph().NumLinks(), 20, rng)
+	}
+	lib, err := FromWeightSettings(ev, nil, ws, scenario.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewSelector(ev, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSelector(ev, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	surgedD := ev.DemandDelay().Clone()
+	surgedD.Set(1, 4, surgedD.At(1, 4)*5)
+	surgedD.Set(7, 4, surgedD.At(7, 4)*2)
+	dd := traffic.Diff(ev.DemandDelay(), surgedD)
+
+	// Interleave with a link event so the delta lands on non-base state.
+	for _, sel := range []*Selector{a, b} {
+		if err := sel.Observe(scenario.Event{Kind: scenario.EventLinkDown, Link: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Observe(scenario.Event{Kind: scenario.EventDemandDelta, DeltaD: dd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Observe(scenario.Event{Kind: scenario.EventDemand, DemD: surgedD}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ws {
+		ra, rb := a.Result(i), b.Result(i)
+		if ra.Cost != rb.Cost || ra.PhiNorm != rb.PhiNorm || ra.Violations != rb.Violations ||
+			ra.Disconnected != rb.Disconnected || ra.MaxUtil != rb.MaxUtil || ra.AvgUtil != rb.AvgUtil {
+			t.Fatalf("config %d: delta score %+v != dense score %+v", i, ra, rb)
+		}
+	}
+	da, _ := a.Demands()
+	if !da.Equal(surgedD) {
+		t.Fatal("selector's tracked demand state diverged from the dense rendering")
+	}
+	if ia, _ := a.Advise(); func() int { ib, _ := b.Advise(); return ib }() != ia {
+		t.Fatal("advice diverged between delta and dense paths")
 	}
 }
 

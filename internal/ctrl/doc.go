@@ -10,10 +10,10 @@
 //     cluster (opt.RunPhase2Set), stored with per-scenario objective
 //     fingerprints;
 //   - an event-driven Selector that consumes a telemetry stream (link
-//     up/down, demand-matrix updates), keeps one persistent
-//     routing.Session per candidate configuration for incremental
-//     re-scoring, and picks the best library entry for the current
-//     conditions;
+//     up/down, dense demand-matrix updates, sparse demand deltas),
+//     keeps one persistent routing.Session per candidate configuration
+//     for incremental re-scoring, and picks the best library entry for
+//     the current conditions;
 //   - a migration Planner that turns "switch from W_cur to W_tgt" into
 //     a minimal-diff change set under a MaxChanges budget, with an
 //     apply order chosen greedily so every intermediate step is
@@ -27,6 +27,9 @@
 // selector's link-event latency rides the session stack: each event is
 // classified per destination in O(1), and destinations whose distances
 // genuinely move are repaired in place (Ramalingam–Reps incremental SPF,
-// internal/spf) rather than re-solved. See DESIGN.md ("The online
-// control plane" and "Incremental SPF repair") for the invariants.
+// internal/spf) rather than re-solved. Demand events are incremental
+// too: only the destination columns whose demands actually changed
+// recompute (no shortest-path work at all), and no-op events never fan
+// out. See DESIGN.md ("The online control plane", "Incremental SPF
+// repair" and "The demand-delta engine") for the invariants.
 package ctrl

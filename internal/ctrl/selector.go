@@ -15,8 +15,11 @@ import (
 // matrices are in effect) through a telemetry stream and keeps one
 // persistent routing.Session per library configuration, so every event
 // re-scores all candidates incrementally — a link event touches only
-// the destinations whose routing it can change, per candidate — and
-// Advise is a constant-time scan of cached, bit-exact results.
+// the destinations whose routing it can change, per candidate, and a
+// demand event only the destination columns whose demands actually
+// moved (sparse demand-delta events never materialize full matrices at
+// all) — and Advise is a constant-time scan of cached, bit-exact
+// results.
 //
 // A Selector is not safe for concurrent use; callers serialize access
 // (cmd/dtrd wraps one in a mutex).
@@ -26,9 +29,14 @@ type Selector struct {
 	sessions []*routing.Session
 	down     []bool
 	ndown    int
-	demD     *traffic.Matrix // nil = base traffic
-	demT     *traffic.Matrix
-	events   int
+	// demD/demT are the demand matrices currently in effect (nil = base
+	// traffic of that class). The owns flags report whether the selector
+	// holds private copies: demand-delta events mutate the current
+	// state, so matrices adopted from EventDemand payloads are cloned
+	// before the first delta touches them.
+	demD, demT         *traffic.Matrix
+	ownsDemD, ownsDemT bool
+	events             int
 }
 
 // NewSelector builds a selector over the library, basing every
@@ -73,7 +81,9 @@ func (s *Selector) DownLinks() []int {
 }
 
 // Demands returns the demand overrides currently in effect (nil = base
-// traffic of that class).
+// traffic of that class; after demand-delta events, a selector-owned
+// matrix holding the accumulated state). Callers must treat the
+// matrices as read-only.
 func (s *Selector) Demands() (demD, demT *traffic.Matrix) { return s.demD, s.demT }
 
 // Mask returns a fresh mask reflecting the selector's current link
@@ -90,10 +100,15 @@ func (s *Selector) Mask() *graph.Mask {
 }
 
 // Observe folds one telemetry event into every candidate session. Link
-// events re-score incrementally (SetLinkState); demand events re-base
-// each session on the new matrices. Duplicate link events (down twice)
-// are idempotent.
+// events re-score incrementally (SetLinkState). Dense demand events
+// diff against the current matrices inside each session (SetDemands),
+// so only changed destination columns recompute; sparse demand-delta
+// events skip the dense matrices entirely (ApplyDemandDelta). No-op
+// events — duplicate link states, demand matrices equal to the ones in
+// effect, deltas restating current values — are deduplicated here and
+// never fan out to the k sessions.
 func (s *Selector) Observe(e scenario.Event) error {
+	n := s.ev.Graph().NumNodes()
 	switch e.Kind {
 	case scenario.EventLinkDown, scenario.EventLinkUp:
 		if e.Link < 0 || e.Link >= len(s.down) {
@@ -111,19 +126,77 @@ func (s *Selector) Observe(e scenario.Event) error {
 		}
 		s.each(func(ses *routing.Session) { ses.SetLinkState(e.Link, up) })
 	case scenario.EventDemand:
-		if e.DemD != nil && e.DemD.Size() != s.ev.Graph().NumNodes() {
-			return fmt.Errorf("ctrl: demand matrix size %d does not match %d nodes", e.DemD.Size(), s.ev.Graph().NumNodes())
+		if e.DemD != nil && e.DemD.Size() != n {
+			return fmt.Errorf("ctrl: demand matrix size %d does not match %d nodes", e.DemD.Size(), n)
 		}
-		if e.DemT != nil && e.DemT.Size() != s.ev.Graph().NumNodes() {
-			return fmt.Errorf("ctrl: demand matrix size %d does not match %d nodes", e.DemT.Size(), s.ev.Graph().NumNodes())
+		if e.DemT != nil && e.DemT.Size() != n {
+			return fmt.Errorf("ctrl: demand matrix size %d does not match %d nodes", e.DemT.Size(), n)
+		}
+		if s.effectiveD().Equal(s.effective(e.DemD, s.ev.DemandDelay())) &&
+			s.effectiveT().Equal(s.effective(e.DemT, s.ev.DemandThroughput())) {
+			return nil // matrices equal the state in effect: skip the fan-out
 		}
 		s.demD, s.demT = e.DemD, e.DemT
+		s.ownsDemD, s.ownsDemT = false, false
 		s.each(func(ses *routing.Session) { ses.SetDemands(e.DemD, e.DemT) })
+	case scenario.EventDemandDelta:
+		if err := e.DeltaD.Validate(n); err != nil {
+			return fmt.Errorf("ctrl: %w", err)
+		}
+		if err := e.DeltaT.Validate(n); err != nil {
+			return fmt.Errorf("ctrl: %w", err)
+		}
+		chgD := deltaChanges(s.effectiveD(), e.DeltaD)
+		chgT := deltaChanges(s.effectiveT(), e.DeltaT)
+		if !chgD && !chgT {
+			return nil // every entry restates the current value
+		}
+		if chgD {
+			if !s.ownsDemD {
+				s.demD = s.effectiveD().Clone()
+				s.ownsDemD = true
+			}
+			s.demD.ApplyDelta(e.DeltaD)
+		}
+		if chgT {
+			if !s.ownsDemT {
+				s.demT = s.effectiveT().Clone()
+				s.ownsDemT = true
+			}
+			s.demT.ApplyDelta(e.DeltaT)
+		}
+		s.each(func(ses *routing.Session) { ses.ApplyDemandDelta(e.DeltaD, e.DeltaT) })
 	default:
 		return fmt.Errorf("ctrl: unknown event kind %d", e.Kind)
 	}
 	s.events++
 	return nil
+}
+
+// effective resolves a possibly-nil override matrix to the matrix in
+// effect (nil means the base traffic of that class).
+func (s *Selector) effective(m, base *traffic.Matrix) *traffic.Matrix {
+	if m == nil {
+		return base
+	}
+	return m
+}
+
+func (s *Selector) effectiveD() *traffic.Matrix { return s.effective(s.demD, s.ev.DemandDelay()) }
+func (s *Selector) effectiveT() *traffic.Matrix { return s.effective(s.demT, s.ev.DemandThroughput()) }
+
+// deltaChanges reports whether applying d to cur would change any
+// value.
+func deltaChanges(cur *traffic.Matrix, d *traffic.Delta) bool {
+	if d == nil {
+		return false
+	}
+	for _, e := range d.Entries {
+		if cur.At(e.S, e.T) != e.New {
+			return true
+		}
+	}
+	return false
 }
 
 // each applies fn to every candidate session, fanning out across

@@ -25,9 +25,12 @@ import (
 // whose distance actually moved. Apply then folds the new contributions
 // into the link loads and re-runs the delay DP only for destinations
 // whose DAG changed or crosses a link whose delay value moved. Revert
-// undoes the last Apply exactly. Full Dijkstras remain only where no
-// repairable pre-change snapshot exists: Init and the SetDemands
-// rebase.
+// undoes the last Apply exactly. Demand updates (SetDemands,
+// ApplyDemandDelta; see demand.go) never touch shortest-path state at
+// all: weights are unchanged, so only the destination columns whose
+// demands moved recompute their load contributions and Λ subtotals.
+// Full Dijkstras remain only where no pre-change snapshot exists: Init
+// and the dense-demand-update fallback rebase.
 //
 // Every Apply/Init result is bit-identical to what the stateless
 // Evaluator.Evaluate computes for the same weights and scenario: the
@@ -46,8 +49,17 @@ type Session struct {
 	ws       *spf.Workspace
 	// demD and demT are the demand matrices the session evaluates —
 	// the evaluator's base traffic unless overridden at construction
-	// (NewScenarioSession) or by SetDemands.
-	demD, demT *traffic.Matrix
+	// (NewScenarioSession), by SetDemands, or by ApplyDemandDelta.
+	// The owns flags report whether the session holds a private copy
+	// (ApplyDemandDelta clones on first write; adopted caller matrices
+	// are never mutated).
+	demD, demT         *traffic.Matrix
+	ownsDemD, ownsDemT bool
+	// rebaseFrac is the demand-update fallback threshold: when a
+	// demand update changes more than rebaseFrac of the 2n destination
+	// columns, the incremental path yields to a full Init rebase. See
+	// SetDemandRebaseThreshold.
+	rebaseFrac float64
 
 	// Per-destination caches (index = destination; dead or skipped
 	// destinations keep zero values and nil slices).
@@ -77,6 +89,10 @@ type Session struct {
 	linkMark       []int32
 	markEpoch      int32
 	needDP         []bool
+	colMark        []int32 // per-destination dedup marks for demand deltas
+	colEpoch       int32
+	chgColsD       []int // changed demand columns per class, ascending
+	chgColsT       []int
 
 	undo        undoState
 	freeDest    []delayDest
@@ -88,7 +104,8 @@ type Session struct {
 	// chg describes the single-link event driving the current recompute,
 	// so Dijkstra-required destinations can repair their snapshots
 	// (spf.State.Repair / Workspace.RepairLink*) instead of re-running
-	// Dijkstra. Init and SetDemands rebase from scratch and never set it.
+	// Dijkstra. Init rebases from scratch and demand updates classify
+	// every touched destination as DAG-only, so neither sets it.
 	chg struct {
 		kind       int // chgWeight, chgLinkDown, chgLinkUp
 		link       int
@@ -149,33 +166,35 @@ func (e *Evaluator) NewSession(mask *graph.Mask, skipNode int) *Session {
 	n, m := e.g.NumNodes(), e.g.NumLinks()
 	linkFrom, linkTo := e.g.LinkEndpoints()
 	return &Session{
-		e:         e,
-		mask:      mask,
-		skipNode:  skipNode,
-		demD:      e.demD,
-		demT:      e.demT,
-		w:         NewWeightSetting(m),
-		ws:        spf.NewWorkspace(e.g),
-		dDest:     make([]delayDest, n),
-		tStates:   make([]spf.State, n),
-		linkFrom:  linkFrom,
-		linkTo:    linkTo,
-		dContrib:  make([][]float64, n),
-		tContrib:  make([][]float64, n),
-		tDropped:  make([]float64, n),
-		lambdaT:   make([]float64, n),
-		violT:     make([]int, n),
-		discT:     make([]int, n),
-		loadD:     make([]float64, m),
-		loadT:     make([]float64, m),
-		loadTot:   make([]float64, m),
-		linkDelay: make([]float64, m),
-		linkUtil:  make([]float64, m),
-		demCol:    make([]float64, n),
-		delays:    make([]float64, n),
-		flow:      make([]float64, n),
-		linkMark:  make([]int32, m),
-		needDP:    make([]bool, n),
+		e:          e,
+		mask:       mask,
+		skipNode:   skipNode,
+		demD:       e.demD,
+		demT:       e.demT,
+		w:          NewWeightSetting(m),
+		ws:         spf.NewWorkspace(e.g),
+		dDest:      make([]delayDest, n),
+		tStates:    make([]spf.State, n),
+		linkFrom:   linkFrom,
+		linkTo:     linkTo,
+		dContrib:   make([][]float64, n),
+		tContrib:   make([][]float64, n),
+		tDropped:   make([]float64, n),
+		lambdaT:    make([]float64, n),
+		violT:      make([]int, n),
+		discT:      make([]int, n),
+		loadD:      make([]float64, m),
+		loadT:      make([]float64, m),
+		loadTot:    make([]float64, m),
+		linkDelay:  make([]float64, m),
+		linkUtil:   make([]float64, m),
+		demCol:     make([]float64, n),
+		delays:     make([]float64, n),
+		flow:       make([]float64, n),
+		linkMark:   make([]int32, m),
+		needDP:     make([]bool, n),
+		colMark:    make([]int32, n),
+		rebaseFrac: demandRebaseFracDefault,
 	}
 }
 
@@ -717,27 +736,6 @@ func (s *Session) classifyThroughputLinkState(t, li int, up bool) int {
 		}
 	}
 	return affectFull
-}
-
-// SetDemands replaces the session's demand matrices — a demand-matrix
-// telemetry update — and re-bases the session on its current weights
-// with a full evaluation. Nil restores the evaluator's base matrix of
-// that class. Any pending Apply undo is cleared.
-func (s *Session) SetDemands(demD, demT *traffic.Matrix) Result {
-	if !s.inited {
-		panic("routing: Session.SetDemands before Init")
-	}
-	if demD == nil {
-		demD = s.e.demD
-	}
-	if demT == nil {
-		demT = s.e.demT
-	}
-	if demD.Size() != s.e.g.NumNodes() || demT.Size() != s.e.g.NumNodes() {
-		panic("routing: override traffic matrix size does not match graph")
-	}
-	s.demD, s.demT = demD, demT
-	return s.Init(s.w)
 }
 
 // Mask returns the session's failure mask (nil = intact topology). It is

@@ -13,9 +13,11 @@
 // metrics.
 //
 // Sets also have a temporal rendering: Episodes/Events turn a scenario
-// set into a replayable telemetry stream (link-down, link-up, demand
-// updates) that the control plane's Selector consumes — the bridge
-// between the offline robustness sweeps and the online serving path.
+// set into a replayable telemetry stream (link-down, link-up, dense
+// demand updates, and sparse demand deltas — hot-spot surges render as
+// changed-entries-only DemandDelta onset/inverse-recovery pairs) that
+// the control plane's Selector consumes — the bridge between the
+// offline robustness sweeps and the online serving path.
 // DESIGN.md ("The scenario engine") documents the generators' sampling
 // rules and the runner's determinism guarantees.
 package scenario

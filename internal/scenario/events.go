@@ -13,8 +13,12 @@ const (
 	EventLinkDown EventKind = iota
 	// EventLinkUp reports a directed link coming back up.
 	EventLinkUp
-	// EventDemand reports a demand-matrix update.
+	// EventDemand reports a dense demand-matrix update.
 	EventDemand
+	// EventDemandDelta reports a sparse demand update: only the changed
+	// (source, destination) entries, applied on top of the demand state
+	// currently in effect.
+	EventDemandDelta
 )
 
 // String returns the wire name of the kind.
@@ -26,6 +30,8 @@ func (k EventKind) String() string {
 		return "link-up"
 	case EventDemand:
 		return "demand"
+	case EventDemandDelta:
+		return "demand-delta"
 	}
 	return "unknown"
 }
@@ -40,16 +46,44 @@ type Event struct {
 	// Link is the directed link index of a link event.
 	Link int
 	// DemD and DemT replace the base demand matrices on an EventDemand;
-	// a nil matrix restores the base traffic of that class.
+	// a nil matrix restores the base traffic of that class. On an
+	// EventDemandDelta onset they may additionally carry the dense
+	// rendering of the post-delta state, for consumers that do not
+	// track demand state incrementally.
 	DemD, DemT *traffic.Matrix
+	// DeltaD and DeltaT are the sparse demand updates of an
+	// EventDemandDelta, per class (nil = no change in that class),
+	// applied on top of the demand state in effect when the event is
+	// observed. Consumers route them through the incremental
+	// demand-delta path (routing.Session.ApplyDemandDelta) so a surge
+	// touching O(1) destination columns costs O(1) column refreshes
+	// instead of a full rebase per candidate configuration.
+	DeltaD, DeltaT *traffic.Delta
 	// Label records provenance (typically the generating scenario name).
 	Label string
+}
+
+// DeltaScenario is an optional Scenario extension: scenarios whose
+// traffic perturbation is sparse (a hot-spot surge touches O(1) of the
+// n destination columns) implement it to expose the perturbation as
+// deltas from the base matrices, letting Episodes render demand-delta
+// events instead of shipping full matrices. The deltas must agree with
+// the dense matrices the scenario's Apply returns: applying them to
+// the base state reproduces those matrices bit for bit.
+type DeltaScenario interface {
+	Scenario
+	TrafficDeltas() (dd, dt *traffic.Delta)
 }
 
 // Episode is one scenario rendered as a replayable incident: the onset
 // events that bring the scenario's perturbation up and the recovery
 // events that undo it. Replaying onset then recovery over a base state
-// returns exactly to the base state.
+// returns exactly to the base state. Episodes are rendered relative to
+// the base demand matrices: replayed onto a consumer holding some other
+// demand state, dense demand events replace that state wholesale while
+// sparse delta events compose with it entry-wise (and recovery then
+// returns to the pre-onset state rather than to base) — interleave
+// external demand telemetry with episode replay accordingly.
 type Episode struct {
 	Name            string
 	Onset, Recovery []Event
@@ -97,6 +131,17 @@ func renderEpisode(g *graph.Graph, mask *graph.Mask, sc Scenario) Episode {
 		ep.Recovery = append(ep.Recovery, Event{Kind: EventLinkUp, Link: ep.Onset[i].Link, Label: ep.Name})
 	}
 	if demD != nil || demT != nil {
+		// Sparse rendering when the scenario offers one: onset applies
+		// the deltas (the dense matrices ride along for stateless
+		// consumers), recovery applies their exact inverses, returning
+		// to the base state bit for bit.
+		if ds, ok := sc.(DeltaScenario); ok {
+			if dd, dt := ds.TrafficDeltas(); dd.Len()+dt.Len() > 0 {
+				ep.Onset = append(ep.Onset, Event{Kind: EventDemandDelta, DeltaD: dd, DeltaT: dt, DemD: demD, DemT: demT, Label: ep.Name})
+				ep.Recovery = append(ep.Recovery, Event{Kind: EventDemandDelta, DeltaD: dd.Inverse(), DeltaT: dt.Inverse(), Label: ep.Name})
+				return ep
+			}
+		}
 		ep.Onset = append(ep.Onset, Event{Kind: EventDemand, DemD: demD, DemT: demT, Label: ep.Name})
 		ep.Recovery = append(ep.Recovery, Event{Kind: EventDemand, Label: ep.Name})
 	}

@@ -68,12 +68,28 @@ func TestEpisodesSurgeAndCompound(t *testing.T) {
 		t.Fatalf("%d surge episodes", len(eps))
 	}
 	for _, ep := range eps {
-		if len(ep.Onset) != 1 || ep.Onset[0].Kind != EventDemand || ep.Onset[0].DemT == nil {
+		// Hot-spot surges render sparsely: a demand-delta onset whose
+		// deltas agree with the dense matrices riding along, recovered
+		// by the exact inverse deltas.
+		if len(ep.Onset) != 1 {
 			t.Fatalf("surge onset = %+v", ep.Onset)
 		}
+		on := ep.Onset[0]
+		if on.Kind != EventDemandDelta || on.DemD == nil || on.DemT == nil ||
+			on.DeltaD.Len() == 0 || on.DeltaT.Len() == 0 {
+			t.Fatalf("surge onset not sparse: %+v", on)
+		}
+		surgedD := demD.Clone().ApplyDelta(on.DeltaD)
+		surgedT := demT.Clone().ApplyDelta(on.DeltaT)
+		if !surgedD.Equal(on.DemD) || !surgedT.Equal(on.DemT) {
+			t.Fatal("onset deltas disagree with the dense matrices")
+		}
 		rec := ep.Recovery[len(ep.Recovery)-1]
-		if rec.Kind != EventDemand || rec.DemD != nil || rec.DemT != nil {
-			t.Fatalf("surge recovery must restore base, got %+v", rec)
+		if rec.Kind != EventDemandDelta || rec.DemD != nil || rec.DemT != nil {
+			t.Fatalf("surge recovery must be a pure inverse delta, got %+v", rec)
+		}
+		if !surgedD.ApplyDelta(rec.DeltaD).Equal(demD) || !surgedT.ApplyDelta(rec.DeltaT).Equal(demT) {
+			t.Fatal("recovery deltas do not restore the base matrices")
 		}
 	}
 

@@ -161,6 +161,9 @@ func srlgBySite(g *graph.Graph) Set {
 // HotspotSurges draws n independent hot-spot surge instances of the
 // paper's sporadic-incident model, deterministically in seed: each
 // scenario gets its own server/client assignment and surge factors.
+// Each scenario also carries its sparse rendering — a hot spot scales
+// O(1) (client, server) pairs, so the delta is tiny next to the n×n
+// matrices — letting Episodes replay surges as demand-delta events.
 func HotspotSurges(demD, demT *traffic.Matrix, h traffic.Hotspot, n int, seed int64) Set {
 	rng := rand.New(rand.NewSource(seed))
 	set := Set{Name: "hotspot-surge", Scenarios: make([]Scenario, n)}
@@ -169,6 +172,7 @@ func HotspotSurges(demD, demT *traffic.Matrix, h traffic.Hotspot, n int, seed in
 		set.Scenarios[i] = TrafficShift{
 			Label: fmt.Sprintf("surge:hotspot:%d", i),
 			DemD:  d, DemT: t,
+			DeltaD: traffic.Diff(demD, d), DeltaT: traffic.Diff(demT, t),
 		}
 	}
 	return set

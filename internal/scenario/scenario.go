@@ -77,6 +77,12 @@ func (s NodeFailure) Apply(mask *graph.Mask) (int, *traffic.Matrix, *traffic.Mat
 type TrafficShift struct {
 	Label      string
 	DemD, DemT *traffic.Matrix
+	// DeltaD and DeltaT, when non-nil, are sparse renderings of the
+	// same shift: the delta from the base matrix of each class to
+	// DemD/DemT. Generators whose perturbation is sparse (hot-spot
+	// surges) fill them so Episodes emits demand-delta events; they
+	// must agree with the dense matrices (DeltaScenario contract).
+	DeltaD, DeltaT *traffic.Delta
 }
 
 // Name returns the label, or "traffic-shift" when empty.
@@ -91,6 +97,10 @@ func (s TrafficShift) Name() string {
 func (s TrafficShift) Apply(mask *graph.Mask) (int, *traffic.Matrix, *traffic.Matrix) {
 	return -1, s.DemD, s.DemT
 }
+
+// TrafficDeltas returns the sparse rendering of the shift (nil when
+// only the dense form exists), implementing DeltaScenario.
+func (s TrafficShift) TrafficDeltas() (dd, dt *traffic.Delta) { return s.DeltaD, s.DeltaT }
 
 // Compound overlays a failure scenario on a traffic perturbation — e.g.
 // a link failure during a hot-spot surge, the compounded stress case.

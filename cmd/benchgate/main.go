@@ -4,6 +4,7 @@
 //
 //	benchgate -parse bench.txt -out bench.json [-note "..."]
 //	benchgate -compare -baseline BENCH_baseline.json -current bench.json [-warn 0.10] [-fail 0.25]
+//	benchgate -overhead -current bench.json -pairs 'BenchmarkX=BenchmarkXObsv,...' [-fail 0.05]
 //
 // Parse mode extracts every benchmark's ns/op plus any custom metrics
 // (events_per_sec, evals_per_sec, …); a benchmark appearing several
@@ -18,6 +19,13 @@
 // listed as new; they join the gate when the baseline is refreshed:
 //
 //	go run ./cmd/benchgate -parse bench.txt -out BENCH_baseline.json
+//
+// Overhead mode gates instrumentation cost within a single record: each
+// -pairs entry names an uninstrumented benchmark and its telemetry-
+// enabled twin; the twin failing to appear, or running more than the
+// -fail fraction slower than its base, fails the gate. Because both
+// twins ran in the same process, this gate has no cross-machine skew
+// and never downgrades to a warning.
 package main
 
 import (
@@ -190,6 +198,77 @@ func compare(base, cur Record, warn, fail float64) Comparison {
 	return c
 }
 
+// parsePairs reads an "-pairs" spec: comma-separated base=instrumented
+// benchmark name pairs.
+func parsePairs(spec string) (map[string]string, error) {
+	pairs := make(map[string]string)
+	for _, p := range strings.Split(spec, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		base, instr, ok := strings.Cut(p, "=")
+		if !ok || base == "" || instr == "" {
+			return nil, fmt.Errorf("benchgate: bad pair %q (want base=instrumented)", p)
+		}
+		pairs[base] = instr
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("benchgate: -pairs is empty")
+	}
+	return pairs, nil
+}
+
+// overheadGate checks instrumentation cost: for each base=instrumented
+// pair, both benchmarks must be present in the record and the
+// instrumented twin may be at most the fail fraction slower than its
+// base. Both twins run in the same process on the same hardware, so
+// unlike compare there is no cross-machine skew to forgive — a missing
+// benchmark or an over-budget delta fails the gate.
+func overheadGate(rec Record, pairs map[string]string, fail float64) Comparison {
+	var c Comparison
+	idx := make(map[string]Benchmark, len(rec.Benchmarks))
+	for _, b := range rec.Benchmarks {
+		idx[b.Name] = b
+	}
+	row := func(format string, args ...any) {
+		c.Lines = append(c.Lines, fmt.Sprintf(format, args...))
+	}
+	row("%-44s %14s %14s %9s  %s", "pair (base vs instrumented)", "base ns/op", "instr ns/op", "overhead", "status")
+	bases := make([]string, 0, len(pairs))
+	for base := range pairs {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		instr := pairs[base]
+		bb, okB := idx[base]
+		ib, okI := idx[instr]
+		if !okB || !okI {
+			missing := base
+			if okB {
+				missing = instr
+			}
+			c.Failed = true
+			row("%-44s %14s %14s %9s  FAIL: %s missing from record", base, "-", "-", "-", missing)
+			continue
+		}
+		delta := ib.NsPerOp/bb.NsPerOp - 1
+		status := "ok"
+		if delta >= fail {
+			status = fmt.Sprintf("FAIL: overhead ≥ %.0f%%", fail*100)
+			c.Failed = true
+		}
+		row("%-44s %14.0f %14.0f %+8.1f%%  %s", base, bb.NsPerOp, ib.NsPerOp, delta*100, status)
+	}
+	if c.Failed {
+		c.Lines = append(c.Lines, "benchgate: FAIL (instrumentation overhead)")
+	} else {
+		c.Lines = append(c.Lines, "benchgate: ok (instrumentation overhead within budget)")
+	}
+	return c
+}
+
 func readRecord(path string) (Record, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -207,10 +286,12 @@ func main() {
 	out := flag.String("out", "", "write parsed JSON here (default stdout)")
 	note := flag.String("note", "", "provenance note stored in the parsed record")
 	compareMode := flag.Bool("compare", false, "compare -current against -baseline")
+	overhead := flag.Bool("overhead", false, "gate instrumented twin benchmarks against their base within -current")
+	pairsSpec := flag.String("pairs", "", "base=instrumented benchmark pairs for -overhead, comma-separated")
 	baseline := flag.String("baseline", "BENCH_baseline.json", "baseline record for -compare")
 	current := flag.String("current", "bench.json", "current record for -compare")
 	warn := flag.Float64("warn", 0.10, "warn at this fractional ns/op regression")
-	fail := flag.Float64("fail", 0.25, "fail at this fractional ns/op regression")
+	fail := flag.Float64("fail", 0.25, "fail at this fractional ns/op regression (-compare) or overhead (-overhead)")
 	flag.Parse()
 
 	switch {
@@ -255,6 +336,24 @@ func main() {
 			os.Exit(2)
 		}
 		c := compare(base, cur, *warn, *fail)
+		for _, l := range c.Lines {
+			fmt.Println(l)
+		}
+		if c.Failed {
+			os.Exit(1)
+		}
+	case *overhead:
+		pairs, err := parsePairs(*pairsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cur, err := readRecord(*current)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		c := overheadGate(cur, pairs, *fail)
 		for _, l := range c.Lines {
 			fmt.Println(l)
 		}

@@ -151,3 +151,49 @@ func TestCompareCoverage(t *testing.T) {
 		t.Fatal("new benchmark not listed")
 	}
 }
+
+// TestOverheadGate pins the instrumentation-cost gate: within-budget
+// twins pass, an over-budget twin fails, and a missing twin fails (the
+// gate never silently stops measuring).
+func TestOverheadGate(t *testing.T) {
+	rec := Record{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkAObsv", NsPerOp: 1020},
+		{Name: "BenchmarkB", NsPerOp: 2000},
+		{Name: "BenchmarkBObsv", NsPerOp: 2400},
+	}}
+	pairs, err := parsePairs("BenchmarkA=BenchmarkAObsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := overheadGate(rec, pairs, 0.05); c.Failed {
+		t.Fatalf("2%% overhead failed a 5%% gate:\n%s", strings.Join(c.Lines, "\n"))
+	}
+
+	pairs, err = parsePairs("BenchmarkA=BenchmarkAObsv,BenchmarkB=BenchmarkBObsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := overheadGate(rec, pairs, 0.05)
+	if !c.Failed {
+		t.Fatalf("20%% overhead passed a 5%% gate:\n%s", strings.Join(c.Lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(c.Lines, "\n"), "FAIL: overhead") {
+		t.Fatalf("over-budget pair not reported:\n%s", strings.Join(c.Lines, "\n"))
+	}
+
+	pairs, err = parsePairs("BenchmarkA=BenchmarkMissing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := overheadGate(rec, pairs, 0.05); !c.Failed {
+		t.Fatal("missing twin must fail the gate")
+	}
+
+	if _, err := parsePairs("malformed"); err == nil {
+		t.Fatal("malformed pair spec must error")
+	}
+	if _, err := parsePairs(""); err == nil {
+		t.Fatal("empty pair spec must error")
+	}
+}

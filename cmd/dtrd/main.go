@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obsv"
 )
 
 func main() {
@@ -48,7 +49,13 @@ func main() {
 
 	listen := flag.String("listen", "", "HTTP listen address (e.g. :8484); empty with -replay exits after the replay")
 	replay := flag.Bool("replay", false, "replay the scenario day as telemetry before serving")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	// Install the daemon registry before any engine object exists so the
+	// library build, replay and serving all record into it.
+	reg := obsv.NewRegistry()
+	obsv.SetDefault(reg)
 
 	net, err := repro.NewNetwork(repro.NetworkSpec{
 		Topology:   *topology,
@@ -137,7 +144,8 @@ func main() {
 		}
 		return
 	}
-	srv := newServer(net, lib, ctrl)
+	srv := newServer(net, lib, ctrl, reg)
+	srv.enablePprof = *pprofFlag
 	fmt.Printf("dtrd: listening on %s\n", *listen)
 	if err := http.ListenAndServe(*listen, srv.mux()); err != nil {
 		fatal(err)

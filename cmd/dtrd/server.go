@@ -4,34 +4,48 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
-	"sync"
+	"net/http/pprof"
 	"time"
 
 	"repro"
+	"repro/internal/obsv"
 )
 
 // server wraps one Controller behind an HTTP/JSON API. The controller
-// is internally synchronized; the server adds its own counters for the
-// metrics endpoint.
+// is internally synchronized; all daemon telemetry — request counters,
+// per-path latency histograms, controller state gauges, and every
+// engine-level metric — lives in one obsv.Registry, and /metrics is
+// rendered entirely by the obsv exposition writer (hand-rolled %q label
+// formatting, which is Go quoting rather than Prometheus escaping, is
+// gone).
 type server struct {
 	net   *repro.Network
 	lib   *repro.Library
 	ctrl  *repro.Controller
 	start time.Time
+	reg   *obsv.Registry
 
-	mu       sync.Mutex
-	requests map[string]int64
-	applied  int64
+	applied *obsv.Counter
+
+	// enablePprof mounts net/http/pprof under /debug/pprof/ (opt-in:
+	// profiling endpoints stay off unless the operator asks).
+	enablePprof bool
 }
 
-func newServer(net *repro.Network, lib *repro.Library, ctrl *repro.Controller) *server {
+// newServer builds the daemon server on reg; a nil registry gets a
+// private one so the endpoints always work.
+func newServer(net *repro.Network, lib *repro.Library, ctrl *repro.Controller, reg *obsv.Registry) *server {
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
 	return &server{
-		net:      net,
-		lib:      lib,
-		ctrl:     ctrl,
-		start:    time.Now(),
-		requests: make(map[string]int64),
+		net:   net,
+		lib:   lib,
+		ctrl:  ctrl,
+		start: time.Now(),
+		reg:   reg,
+		applied: reg.Counter("dtrd_weight_changes_applied_total",
+			"Link weight rewrites applied via /apply."),
 	}
 }
 
@@ -46,15 +60,30 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /plan", s.count(s.handlePlan))
 	mux.HandleFunc("POST /apply", s.count(s.handleApply))
 	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
+	mux.HandleFunc("GET /metrics.json", s.count(s.handleMetricsJSON))
+	mux.HandleFunc("GET /debug/trace", s.count(s.handleTrace))
+	if s.enablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
+// count is the request middleware: per-path request counter and latency
+// histogram. The route table is fixed, so path label cardinality is
+// bounded by the mux patterns.
 func (s *server) count(h http.HandlerFunc) http.HandlerFunc {
+	const reqHelp = "HTTP requests served."
+	const latHelp = "HTTP request latency by path."
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		s.requests[r.URL.Path]++
-		s.mu.Unlock()
+		path := obsv.L("path", r.URL.Path)
+		s.reg.Counter("dtrd_http_requests_total", reqHelp, path).Inc()
+		t0 := time.Now()
 		h(w, r)
+		s.reg.Histogram("dtrd_http_request_seconds", latHelp, obsv.LatencyBuckets, path).ObserveSince(t0)
 	}
 }
 
@@ -141,43 +170,57 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, err)
 		return
 	}
-	s.mu.Lock()
-	s.applied += int64(len(plan.Steps))
-	s.mu.Unlock()
+	s.applied.Add(int64(len(plan.Steps)))
 	writeJSON(w, plan)
 }
 
-// handleMetrics exposes Prometheus-style text metrics.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// refreshStateMetrics mirrors the controller's current state into the
+// registry. Registration is idempotent, so the scrape-time cost is a
+// handful of map lookups.
+func (s *server) refreshStateMetrics() {
 	st := s.ctrl.State()
-	s.mu.Lock()
-	applied := s.applied
-	paths := make([]string, 0, len(s.requests))
-	for p := range s.requests {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	counts := make([]int64, len(paths))
-	for i, p := range paths {
-		counts[i] = s.requests[p]
-	}
-	s.mu.Unlock()
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP dtrd_uptime_seconds Daemon uptime.\n# TYPE dtrd_uptime_seconds gauge\ndtrd_uptime_seconds %g\n",
-		time.Since(s.start).Seconds())
-	fmt.Fprintf(w, "# HELP dtrd_events_total Telemetry events consumed.\n# TYPE dtrd_events_total counter\ndtrd_events_total %d\n", st.Events)
-	fmt.Fprintf(w, "# HELP dtrd_weight_changes_applied_total Link weight rewrites applied via /apply.\n# TYPE dtrd_weight_changes_applied_total counter\ndtrd_weight_changes_applied_total %d\n", applied)
-	fmt.Fprintf(w, "# HELP dtrd_active_config Index of the deployed configuration (-1 mid-migration).\n# TYPE dtrd_active_config gauge\ndtrd_active_config %d\n", st.Active)
-	fmt.Fprintf(w, "# HELP dtrd_down_links Links currently observed down.\n# TYPE dtrd_down_links gauge\ndtrd_down_links %d\n", len(st.DownLinks))
-	fmt.Fprintf(w, "# HELP dtrd_deployed_sla_violations SLA violations of the deployed routing under current conditions.\n# TYPE dtrd_deployed_sla_violations gauge\ndtrd_deployed_sla_violations %d\n", st.Deployed.SLAViolations)
-	fmt.Fprintf(w, "# HELP dtrd_deployed_max_utilization Peak link utilization of the deployed routing.\n# TYPE dtrd_deployed_max_utilization gauge\ndtrd_deployed_max_utilization %g\n", st.Deployed.MaxUtilization)
-	fmt.Fprintf(w, "# HELP dtrd_config_sla_violations Per-configuration SLA violations under current conditions.\n# TYPE dtrd_config_sla_violations gauge\n")
+	s.reg.Gauge("dtrd_uptime_seconds", "Daemon uptime.").
+		Set(time.Since(s.start).Seconds())
+	s.reg.Counter("dtrd_events_total", "Telemetry events consumed.").
+		Set(int64(st.Events))
+	s.reg.Gauge("dtrd_active_config", "Index of the deployed configuration (-1 mid-migration).").
+		Set(float64(st.Active))
+	s.reg.Gauge("dtrd_down_links", "Links currently observed down.").
+		Set(float64(len(st.DownLinks)))
+	s.reg.Gauge("dtrd_deployed_sla_violations", "SLA violations of the deployed routing under current conditions.").
+		Set(float64(st.Deployed.SLAViolations))
+	s.reg.Gauge("dtrd_deployed_max_utilization", "Peak link utilization of the deployed routing.").
+		Set(st.Deployed.MaxUtilization)
 	for _, c := range st.Configs {
-		fmt.Fprintf(w, "dtrd_config_sla_violations{config=%q} %d\n", c.Name, c.SLAViolations)
+		s.reg.Gauge("dtrd_config_sla_violations",
+			"Per-configuration SLA violations under current conditions.",
+			obsv.L("config", c.Name)).Set(float64(c.SLAViolations))
 	}
-	fmt.Fprintf(w, "# HELP dtrd_http_requests_total HTTP requests served.\n# TYPE dtrd_http_requests_total counter\n")
-	for i, p := range paths {
-		fmt.Fprintf(w, "dtrd_http_requests_total{path=%q} %d\n", p, counts[i])
-	}
+}
+
+// handleMetrics exposes the whole registry — daemon gauges refreshed at
+// scrape time plus every engine metric — in Prometheus text format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshStateMetrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+// handleMetricsJSON serves the same registry as a JSON snapshot — the
+// artifact format `-metrics-out` writes in the offline tools.
+func (s *server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	s.refreshStateMetrics()
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w)
+}
+
+// handleTrace serves the bounded decision-trace ring (selector observe/
+// advise/plan records), oldest first.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	events := s.reg.Trace().Events()
+	writeJSON(w, map[string]any{
+		"total":    s.reg.Trace().Total(),
+		"retained": len(events),
+		"events":   events,
+	})
 }

@@ -12,10 +12,17 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/obsv"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *repro.Library) {
 	t.Helper()
+	// Each test server owns a fresh registry installed as the process
+	// default, so engine-level metrics (spf, routing, ctrl) surface on
+	// its /metrics and counts never leak across tests.
+	reg := obsv.NewRegistry()
+	obsv.SetDefault(reg)
+	t.Cleanup(func() { obsv.SetDefault(nil) })
 	net, err := repro.NewNetwork(repro.NetworkSpec{Topology: "rand", Nodes: 8, Links: 32, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -34,7 +41,7 @@ func testServer(t *testing.T) (*httptest.Server, *repro.Library) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(net, lib, ctrl).mux())
+	ts := httptest.NewServer(newServer(net, lib, ctrl, reg).mux())
 	t.Cleanup(ts.Close)
 	return ts, lib
 }
@@ -136,10 +143,45 @@ func TestServerEndpoints(t *testing.T) {
 		"dtrd_down_links 0",
 		"dtrd_config_sla_violations{config=",
 		`dtrd_http_requests_total{path="/observe"} 2`,
+		// Engine metrics surface through the same registry: repair vs
+		// fresh-Dijkstra counts, the session event-class mix, per-event-
+		// class controller latencies, and per-path HTTP latencies.
+		"spf_runs_total",
+		`spf_repairs_total{path="increase"}`,
+		`routing_session_dests_total{class="repair"}`,
+		`routing_session_dests_total{class="dag_only"}`,
+		`ctrl_observe_seconds_bucket{class="link",le="+Inf"}`,
+		`dtrd_http_request_seconds_bucket{path="/observe",le="+Inf"} 2`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}
+	}
+	// The exposition must be format-clean: HELP/TYPE pairing, proper
+	// label escaping, no duplicate series.
+	if errs := obsv.LintExposition(body); len(errs) != 0 {
+		t.Errorf("exposition lint: %v", errs)
+	}
+
+	// The decision trace retains the replayed observe/advise activity.
+	var trace struct {
+		Total    uint64 `json:"total"`
+		Retained int    `json:"retained"`
+		Events   []struct {
+			Kind string `json:"kind"`
+			Msg  string `json:"msg"`
+		} `json:"events"`
+	}
+	getJSON(t, ts.URL+"/debug/trace", &trace)
+	if trace.Total == 0 || trace.Retained != len(trace.Events) {
+		t.Fatalf("trace: %+v", trace)
+	}
+	kinds := map[string]bool{}
+	for _, e := range trace.Events {
+		kinds[e.Kind] = true
+	}
+	if !kinds["observe"] || !kinds["plan"] {
+		t.Errorf("trace missing observe/plan records: %+v", kinds)
 	}
 
 	// Error paths surface as 400s.

@@ -21,7 +21,21 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obsv"
 )
+
+// writeMetricsSnapshot dumps the registry's JSON snapshot to path.
+func writeMetricsSnapshot(reg *obsv.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	topology := flag.String("topology", "rand", "topology family: rand|near|pl|isp")
@@ -38,12 +52,28 @@ func main() {
 	load := flag.String("load", "", "alias of -weights-in")
 	weightsOut := flag.String("weights-out", "", "write the robust routing to this file as JSON (the format dtrd -weights and Network.RoutingFromJSON consume)")
 	weightsIn := flag.String("weights-in", "", "skip optimization; evaluate the routing stored in this file")
+	metricsOut := flag.String("metrics-out", "", "write the observability registry as a JSON snapshot to this file at exit")
 	flag.Parse()
 	if *weightsOut == "" {
 		weightsOut = save
 	}
 	if *weightsIn == "" {
 		weightsIn = load
+	}
+
+	// With -metrics-out the run records engine telemetry and dumps it on
+	// the way out, so offline searches produce the same observability
+	// artifact as the daemon's /metrics.json.
+	if *metricsOut != "" {
+		reg := obsv.NewRegistry()
+		obsv.SetDefault(reg)
+		defer func() {
+			if err := writeMetricsSnapshot(reg, *metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "dtropt:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+		}()
 	}
 
 	net, err := repro.NewNetwork(repro.NetworkSpec{

@@ -18,7 +18,21 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obsv"
 )
+
+// writeMetricsSnapshot dumps the registry's JSON snapshot to path.
+func writeMetricsSnapshot(reg *obsv.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	run := flag.String("run", "", "experiment id to run, or 'all'")
@@ -26,7 +40,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	reps := flag.Int("reps", 0, "repetitions per configuration (0 = scale default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metricsOut := flag.String("metrics-out", "", "write the observability registry as a JSON snapshot to this file at exit")
 	flag.Parse()
+
+	// With -metrics-out the run records engine telemetry and dumps it on
+	// the way out, so experiment runs produce the same observability
+	// artifact as the daemon's /metrics.json.
+	if *metricsOut != "" {
+		reg := obsv.NewRegistry()
+		obsv.SetDefault(reg)
+		defer func() {
+			if err := writeMetricsSnapshot(reg, *metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

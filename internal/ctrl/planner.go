@@ -139,5 +139,11 @@ func PlanMigration(ev *routing.Evaluator, cur, tgt *routing.WeightSetting, mask 
 	}
 	plan.Remaining = len(remaining)
 	plan.Complete = len(remaining) == 0
+	if m := met.Get(); m != nil {
+		m.plans.Inc()
+		m.planSteps.Observe(float64(len(plan.Steps)))
+		m.trace.Recordf("plan", "%d steps, complete=%v remaining=%d blocked=%v",
+			len(plan.Steps), plan.Complete, plan.Remaining, plan.Blocked)
+	}
 	return plan, nil
 }

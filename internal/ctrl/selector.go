@@ -3,6 +3,7 @@ package ctrl
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/routing"
@@ -108,6 +109,11 @@ func (s *Selector) Mask() *graph.Mask {
 // effect, deltas restating current values — are deduplicated here and
 // never fan out to the k sessions.
 func (s *Selector) Observe(e scenario.Event) error {
+	m := met.Get()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	n := s.ev.Graph().NumNodes()
 	switch e.Kind {
 	case scenario.EventLinkDown, scenario.EventLinkUp:
@@ -116,6 +122,9 @@ func (s *Selector) Observe(e scenario.Event) error {
 		}
 		up := e.Kind == scenario.EventLinkUp
 		if s.down[e.Link] != up {
+			if m != nil {
+				m.dedupLink.Inc()
+			}
 			return nil // already in the observed state
 		}
 		s.down[e.Link] = !up
@@ -125,6 +134,10 @@ func (s *Selector) Observe(e scenario.Event) error {
 			s.ndown++
 		}
 		s.each(func(ses *routing.Session) { ses.SetLinkState(e.Link, up) })
+		if m != nil {
+			m.observeLink.ObserveSince(t0)
+			m.trace.Recordf("observe", "link %d up=%v (down links: %d)", e.Link, up, s.ndown)
+		}
 	case scenario.EventDemand:
 		if e.DemD != nil && e.DemD.Size() != n {
 			return fmt.Errorf("ctrl: demand matrix size %d does not match %d nodes", e.DemD.Size(), n)
@@ -134,11 +147,18 @@ func (s *Selector) Observe(e scenario.Event) error {
 		}
 		if s.effectiveD().Equal(s.effective(e.DemD, s.ev.DemandDelay())) &&
 			s.effectiveT().Equal(s.effective(e.DemT, s.ev.DemandThroughput())) {
+			if m != nil {
+				m.dedupDem.Inc()
+			}
 			return nil // matrices equal the state in effect: skip the fan-out
 		}
 		s.demD, s.demT = e.DemD, e.DemT
 		s.ownsDemD, s.ownsDemT = false, false
 		s.each(func(ses *routing.Session) { ses.SetDemands(e.DemD, e.DemT) })
+		if m != nil {
+			m.observeDem.ObserveSince(t0)
+			m.trace.Record("observe", "dense demand update")
+		}
 	case scenario.EventDemandDelta:
 		if err := e.DeltaD.Validate(n); err != nil {
 			return fmt.Errorf("ctrl: %w", err)
@@ -149,6 +169,9 @@ func (s *Selector) Observe(e scenario.Event) error {
 		chgD := deltaChanges(s.effectiveD(), e.DeltaD)
 		chgT := deltaChanges(s.effectiveT(), e.DeltaT)
 		if !chgD && !chgT {
+			if m != nil {
+				m.dedupDelta.Inc()
+			}
 			return nil // every entry restates the current value
 		}
 		if chgD {
@@ -166,6 +189,10 @@ func (s *Selector) Observe(e scenario.Event) error {
 			s.demT.ApplyDelta(e.DeltaT)
 		}
 		s.each(func(ses *routing.Session) { ses.ApplyDemandDelta(e.DeltaD, e.DeltaT) })
+		if m != nil {
+			m.observeDelta.ObserveSince(t0)
+			m.trace.Recordf("observe", "demand delta (%d+%d entries)", e.DeltaD.Len(), e.DeltaT.Len())
+		}
 	default:
 		return fmt.Errorf("ctrl: unknown event kind %d", e.Kind)
 	}
@@ -233,6 +260,11 @@ func (s *Selector) Advise() (int, routing.Result) {
 		if res := s.sessions[i].Result(); res.Cost.Less(bestRes.Cost) {
 			best, bestRes = i, res
 		}
+	}
+	if m := met.Get(); m != nil {
+		m.advises.Inc()
+		m.trace.Recordf("advise", "config %d (violations=%d maxUtil=%.3f)",
+			best, bestRes.Violations, bestRes.MaxUtil)
 	}
 	return best, bestRes
 }

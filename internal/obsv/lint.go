@@ -1,0 +1,216 @@
+package obsv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LintExposition checks a Prometheus text-exposition payload for the
+// format invariants the tests care about: every sample belongs to a
+// family announced by a HELP and a TYPE line (HELP first, each exactly
+// once), metric and label names are legal, label values are properly
+// quoted and escaped, sample values parse as floats, and no series
+// (name plus label set) appears twice. It returns every violation
+// found, or nil for a clean payload.
+func LintExposition(data []byte) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	helps := map[string]bool{}
+	types := map[string]string{} // family -> kind
+	seen := map[string]bool{}    // fully-labeled series
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		n := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				fail(n, "comment is neither HELP nor TYPE: %q", line)
+				continue
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				fail(n, "invalid metric name %q", name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if helps[name] {
+					fail(n, "duplicate HELP for %q", name)
+				}
+				helps[name] = true
+			case "TYPE":
+				if _, dup := types[name]; dup {
+					fail(n, "duplicate TYPE for %q", name)
+				}
+				if !helps[name] {
+					fail(n, "TYPE for %q precedes its HELP", name)
+				}
+				kind := ""
+				if len(fields) >= 4 {
+					kind = fields[3]
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(n, "invalid TYPE %q for %q", kind, name)
+				}
+				types[name] = kind
+			}
+			continue
+		}
+
+		name, sig, value, err := parseSample(line)
+		if err != nil {
+			fail(n, "%v", err)
+			continue
+		}
+		if !validMetricName(name) {
+			fail(n, "invalid metric name %q", name)
+		}
+		fam := familyOf(name, types)
+		if _, ok := types[fam]; !ok {
+			fail(n, "sample %q has no preceding TYPE", name)
+		} else if !helps[fam] {
+			fail(n, "sample %q has no preceding HELP", name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			fail(n, "sample %q has unparseable value %q", name, value)
+		}
+		key := name + "{" + sig + "}"
+		if seen[key] {
+			fail(n, "duplicate series %s", key)
+		}
+		seen[key] = true
+	}
+	return errs
+}
+
+// familyOf maps a sample name to its announced family: histogram and
+// summary samples use the base name's _bucket/_sum/_count suffixes.
+func familyOf(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if k, ok := types[base]; ok && (k == "histogram" || k == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample splits `name{labels} value` (labels optional), validating
+// label syntax and escaping. The returned sig is the canonicalized
+// label list, for duplicate detection.
+func parseSample(line string) (name, sig, value string, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name, rest = rest[:i], rest[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		var parts []string
+		for {
+			if rest == "" {
+				return "", "", "", fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", "", "", fmt.Errorf("malformed label in %q", line)
+			}
+			lname := rest[:eq]
+			if !validLabelName(lname) {
+				return "", "", "", fmt.Errorf("invalid label name %q in %q", lname, line)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", "", "", fmt.Errorf("label %q value is not quoted in %q", lname, line)
+			}
+			rest = rest[1:]
+			// Scan the quoted value honoring \\, \" and \n escapes.
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' {
+					if j+1 >= len(rest) {
+						return "", "", "", fmt.Errorf("dangling escape in %q", line)
+					}
+					next := rest[j+1]
+					if next != '\\' && next != '"' && next != 'n' {
+						return "", "", "", fmt.Errorf("invalid escape \\%c in %q", next, line)
+					}
+					val.WriteByte(c)
+					val.WriteByte(next)
+					j++
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", "", "", fmt.Errorf("unterminated label value in %q", line)
+			}
+			parts = append(parts, lname+`="`+val.String()+`"`)
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+		sig = strings.Join(parts, ",")
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return "", "", "", fmt.Errorf("missing value separator in %q", line)
+	}
+	value = strings.TrimPrefix(rest, " ")
+	if value == "" || strings.ContainsRune(value, ' ') {
+		// A second field would be a timestamp, which this renderer never
+		// emits; reject rather than silently accept malformed output.
+		return "", "", "", fmt.Errorf("malformed value field %q in %q", value, line)
+	}
+	return name, sig, value, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one entry of the decision-trace ring: what the engine
+// decided and when. Seq increases monotonically over the life of the
+// ring, so consumers can detect drops between reads.
+type TraceEvent struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	Msg  string    `json:"msg"`
+}
+
+// Trace is a bounded ring of decision events. Writers never block on
+// readers and never allocate beyond the fixed ring; once full, each
+// Record overwrites the oldest event. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Trace struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next uint64 // total events ever recorded; buf[(next-1)%cap] is newest
+}
+
+// NewTrace returns a ring holding the last `capacity` events (minimum 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]TraceEvent, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (t *Trace) Record(kind, msg string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = TraceEvent{Seq: t.next, Time: now, Kind: kind, Msg: msg}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Recordf is Record with fmt.Sprintf formatting. The format cost is
+// paid before taking the lock.
+func (t *Trace) Recordf(kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Record(kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the retained events, oldest first.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	capacity := uint64(len(t.buf))
+	n := t.next
+	if n > capacity {
+		n = capacity
+	}
+	out := make([]TraceEvent, 0, n)
+	for i := t.next - n; i < t.next; i++ {
+		out = append(out, t.buf[i%capacity])
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded, including evicted
+// ones (0 on a nil receiver).
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}

@@ -1,0 +1,93 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceRingEviction(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Recordf("k", "event %d", i)
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq {
+			t.Errorf("event %d: seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+	if ev[0].Msg != "event 6" || ev[3].Msg != "event 9" {
+		t.Errorf("wrong retained window: %q .. %q", ev[0].Msg, ev[3].Msg)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Record("k", "m")
+	tr.Recordf("k", "m %d", 1)
+	if tr.Events() != nil || tr.Total() != 0 {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+// TestTraceConcurrentWriters hammers the ring from many goroutines
+// while a reader drains it; run under -race this is the data-race
+// check ISSUE 6 asks for. Afterwards the ring must hold exactly the
+// last `capacity` sequence numbers with no gaps or duplicates.
+func TestTraceConcurrentWriters(t *testing.T) {
+	const capacity, writers, perWriter = 64, 8, 2000
+	tr := NewTrace(capacity)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ev := tr.Events()
+			for i := 1; i < len(ev); i++ {
+				if ev[i].Seq != ev[i-1].Seq+1 {
+					t.Errorf("non-contiguous seqs %d -> %d", ev[i-1].Seq, ev[i].Seq)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Recordf("writer", "w%d event %d", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	if tr.Total() != writers*perWriter {
+		t.Fatalf("total = %d, want %d", tr.Total(), writers*perWriter)
+	}
+	ev := tr.Events()
+	if len(ev) != capacity {
+		t.Fatalf("retained %d, want %d", len(ev), capacity)
+	}
+	for i, e := range ev {
+		want := uint64(writers*perWriter - capacity + i)
+		if e.Seq != want {
+			t.Fatalf("event %d: seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}

@@ -156,6 +156,7 @@ func (o *Optimizer) RunPhase1() *Phase1Result {
 	iter := 0
 	sinceImprove := 0
 	roundStartBest := best
+	progress := phaseProgress{phase: 1, start: start}
 
 	for lowGain < cfg.P1 && (cfg.MaxIter1 == 0 || iter < cfg.MaxIter1) {
 		iter++
@@ -221,7 +222,9 @@ func (o *Optimizer) RunPhase1() *Phase1Result {
 			evals++
 			sinceImprove = 0
 		}
+		progress.publish(iter, evals)
 	}
+	progress.publish(iter, evals)
 
 	// Re-gate the harvest against the final benchmarks and build the
 	// criticality sampler from the surviving samples.

@@ -249,6 +249,7 @@ func (o *Optimizer) runPhase2(p1 *Phase1Result, scens []phase2Scenario) *Phase2R
 	var cand routing.Result
 	iter := 0
 	lowGain := 0
+	progress := phaseProgress{phase: 2, start: start}
 	for round := 0; lowGain < cfg.P2 && (cfg.MaxIter2 == 0 || iter < cfg.MaxIter2); round++ {
 		// Each diversification round starts from a recorded acceptable
 		// setting (cycling through the pool, then randomly).
@@ -323,6 +324,7 @@ func (o *Optimizer) runPhase2(p1 *Phase1Result, scens []phase2Scenario) *Phase2R
 			} else {
 				sinceImprove++
 			}
+			progress.publish(iter, evals)
 		}
 		if relGain(roundStartBest, bestFail) < cfg.CFrac {
 			lowGain++
@@ -337,6 +339,7 @@ func (o *Optimizer) runPhase2(p1 *Phase1Result, scens []phase2Scenario) *Phase2R
 		bestW = p1.Pool[0].W.Clone()
 		bestFail = evalFail(bestW)
 	}
+	progress.publish(iter, evals)
 	res := &Phase2Result{
 		BestW:     bestW,
 		FailCost:  bestFail,

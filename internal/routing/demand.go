@@ -59,6 +59,9 @@ func (s *Session) SetDemands(demD, demT *traffic.Matrix) Result {
 	if demD.Size() != s.e.g.NumNodes() || demT.Size() != s.e.g.NumNodes() {
 		panic("routing: override traffic matrix size does not match graph")
 	}
+	if m := met.Get(); m != nil {
+		m.updDemand.Inc()
+	}
 	s.chgColsD = changedColumns(s.demD, demD, s.chgColsD)
 	s.chgColsT = changedColumns(s.demT, demT, s.chgColsT)
 	s.demD, s.demT = demD, demT
@@ -82,6 +85,9 @@ func (s *Session) SetDemands(demD, demT *traffic.Matrix) Result {
 func (s *Session) ApplyDemandDelta(dd, dt *traffic.Delta) Result {
 	if !s.inited {
 		panic("routing: Session.ApplyDemandDelta before Init")
+	}
+	if m := met.Get(); m != nil {
+		m.updDelta.Inc()
 	}
 	n := s.e.g.NumNodes()
 	if err := dd.Validate(n); err != nil {
@@ -110,7 +116,13 @@ func (s *Session) refreshDemands(chgD, chgT []int) Result {
 		return s.res
 	}
 	n := s.e.g.NumNodes()
+	if m := met.Get(); m != nil {
+		m.demandColumns.Observe(float64(len(chgD) + len(chgT)))
+	}
 	if float64(len(chgD)+len(chgT)) > s.rebaseFrac*float64(2*n) {
+		if m := met.Get(); m != nil {
+			m.demandRebases.Inc()
+		}
 		return s.Init(s.w)
 	}
 	s.recycleUndo()
@@ -159,6 +171,9 @@ func (s *Session) applyDeltaClass(m **traffic.Matrix, owned *bool, d *traffic.De
 		return cols
 	}
 	if !*owned {
+		if mm := met.Get(); mm != nil {
+			mm.demandClones.Inc()
+		}
 		cur = cur.Clone()
 		*m = cur
 		*owned = true

@@ -261,6 +261,9 @@ func (s *Session) alive(t int) bool {
 // Init (re)bases the session on w with a full from-scratch evaluation,
 // filling every cache. It is the rebase used at diversification restarts.
 func (s *Session) Init(w *WeightSetting) Result {
+	if m := met.Get(); m != nil {
+		m.inits.Inc()
+	}
 	e, g := s.e, s.e.g
 	n := g.NumNodes()
 	s.w.CopyFrom(w)
@@ -321,6 +324,9 @@ func (s *Session) Apply(l int, wd, wt int32) Result {
 	if !s.inited {
 		panic("routing: Session.Apply before Init")
 	}
+	if m := met.Get(); m != nil {
+		m.updWeight.Inc()
+	}
 	n := s.e.g.NumNodes()
 	s.recycleUndo()
 	u := &s.undo
@@ -372,6 +378,10 @@ func (s *Session) Apply(l int, wd, wt int32) Result {
 // the caller must already have committed the triggering change (weights
 // or mask) to the session.
 func (s *Session) recompute(u *undoState) {
+	if m := met.Get(); m != nil {
+		m.destsRepair.Add(int64(len(s.affD) + len(s.affT)))
+		m.destsDAGOnly.Add(int64(len(s.dagD) + len(s.dagT)))
+	}
 	e, g := s.e, s.e.g
 	n := g.NumNodes()
 
@@ -605,6 +615,9 @@ func (s *Session) Revert() {
 func (s *Session) SetLinkState(li int, up bool) Result {
 	if !s.inited {
 		panic("routing: Session.SetLinkState before Init")
+	}
+	if m := met.Get(); m != nil {
+		m.updLink.Inc()
 	}
 	g := s.e.g
 	if s.mask == nil {

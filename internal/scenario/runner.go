@@ -5,11 +5,29 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/obsv"
 	"repro/internal/routing"
 )
+
+// metrics is the package's handle bundle against the default obsv
+// registry; met.Get() is nil (one atomic load) while telemetry is off.
+type metrics struct {
+	evals       *obsv.Counter
+	evalSeconds *obsv.Histogram
+}
+
+var met = obsv.NewView(func(r *obsv.Registry) *metrics {
+	return &metrics{
+		evals: r.Counter("scenario_evals_total",
+			"Scenario evaluations completed by the runner pool."),
+		evalSeconds: r.Histogram("scenario_eval_seconds",
+			"Wall time per scenario evaluation.", obsv.LatencyBuckets),
+	}
+})
 
 // Runner evaluates scenario sets on a worker pool. Each worker owns one
 // reusable failure mask; per-evaluation scratch buffers come from the
@@ -95,6 +113,7 @@ func (r Runner) Run(ev *routing.Evaluator, w *routing.WeightSetting, set Set) *R
 		workers = n
 	}
 
+	m := met.Get() // one fetch per Run; workers share the handles
 	var next atomic.Int64
 	work := func(mask *graph.Mask) {
 		for {
@@ -106,7 +125,14 @@ func (r Runner) Run(ev *routing.Evaluator, w *routing.WeightSetting, set Set) *R
 			mask.Reset()
 			skip, demD, demT := sc.Apply(mask)
 			results[i].Name = sc.Name()
-			ev.EvaluateDemands(w, mask, skip, demD, demT, &results[i].Result)
+			if m != nil {
+				t0 := time.Now()
+				ev.EvaluateDemands(w, mask, skip, demD, demT, &results[i].Result)
+				m.evalSeconds.ObserveSince(t0)
+				m.evals.Inc()
+			} else {
+				ev.EvaluateDemands(w, mask, skip, demD, demT, &results[i].Result)
+			}
 		}
 	}
 	if workers <= 1 {

@@ -1,0 +1,28 @@
+package spf
+
+import "repro/internal/obsv"
+
+// metrics is the package's handle bundle against the default obsv
+// registry; met.Get() is nil (one atomic load) while telemetry is off.
+type metrics struct {
+	runs           *obsv.Counter
+	repairIncrease *obsv.Counter
+	repairDecrease *obsv.Counter
+	repairNoop     *obsv.Counter
+	changedNodes   *obsv.Histogram
+}
+
+var met = obsv.NewView(func(r *obsv.Registry) *metrics {
+	return &metrics{
+		runs: r.Counter("spf_runs_total",
+			"Fresh full Dijkstra computations."),
+		repairIncrease: r.Counter("spf_repairs_total",
+			"Incremental SPF repairs by path taken.", obsv.L("path", "increase")),
+		repairDecrease: r.Counter("spf_repairs_total",
+			"Incremental SPF repairs by path taken.", obsv.L("path", "decrease")),
+		repairNoop: r.Counter("spf_repairs_total",
+			"Incremental SPF repairs by path taken.", obsv.L("path", "noop")),
+		changedNodes: r.Histogram("spf_repair_changed_nodes",
+			"Nodes whose distance changed per effective repair.", obsv.SizeBuckets),
+	}
+})

@@ -100,7 +100,11 @@ func (ws *Workspace) repair(g *graph.Graph, w []int32, li int, oldEff, newEff in
 	if g != ws.g {
 		panic("spf: Workspace used with a graph other than the one it was created for")
 	}
+	m := met.Get()
 	if oldEff == newEff {
+		if m != nil {
+			m.repairNoop.Inc()
+		}
 		return false
 	}
 	tail, head := ws.lfrom[li], ws.lto[li]
@@ -108,12 +112,29 @@ func (ws *Workspace) repair(g *graph.Graph, w []int32, li int, oldEff, newEff in
 	if dv >= Inf {
 		// The link leads nowhere near this destination (including the
 		// dead-destination case where every distance is Inf).
+		if m != nil {
+			m.repairNoop.Inc()
+		}
 		return false
 	}
 	if newEff < oldEff {
-		return ws.repairDecrease(g, w, tail, dv+newEff, mask)
+		changed := ws.repairDecrease(g, w, tail, dv+newEff, mask)
+		if m != nil {
+			m.repairDecrease.Inc()
+			if changed {
+				m.changedNodes.Observe(float64(len(ws.chgSorted)))
+			}
+		}
+		return changed
 	}
-	return ws.repairIncrease(g, w, tail, dv+oldEff, mask)
+	changed := ws.repairIncrease(g, w, tail, dv+oldEff, mask)
+	if m != nil {
+		m.repairIncrease.Inc()
+		if changed {
+			m.changedNodes.Observe(float64(len(ws.affList)))
+		}
+	}
+	return changed
 }
 
 // repairDecrease handles a weight decrease or link restoration: nd is

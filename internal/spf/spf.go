@@ -100,6 +100,9 @@ func (ws *Workspace) Run(g *graph.Graph, w []int32, dest int, mask *graph.Mask) 
 	if g != ws.g {
 		panic("spf: Workspace used with a graph other than the one it was created for")
 	}
+	if m := met.Get(); m != nil {
+		m.runs.Inc()
+	}
 	ws.dest = int32(dest)
 	for i := range ws.dist {
 		ws.dist[i] = Inf

@@ -10,6 +10,7 @@ package repro
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -319,6 +320,53 @@ func BenchmarkPhase1Incremental100(b *testing.B) {
 	benchPhase1(b, topogen.Spec{Kind: topogen.RandKind, Nodes: 100, DirectedLinks: 500}, false)
 }
 
+// The scaling-curve family: the same incremental Phase 1 at n ∈ {100,
+// 300, 1000} (BenchmarkPhase1Incremental100 above is the first point),
+// with the per-pass budget shrunk as n grows so every point stays
+// CI-sized. One pass is m moves, so ns/op divided by m·MaxIter1 is the
+// per-move cost; a superlinear regression in n bends this curve and
+// trips the benchmark gate. The two large points run with -benchtime 1x
+// in CI. The 1000-node point runs its sessions with the recompute
+// worker pool at GOMAXPROCS — the configuration that scale actually
+// uses (and a serial pass costs ~12 minutes) — so it doubles as CI's
+// under-load exercise of the parallel path; on a single-core baseline
+// machine it degenerates to the serial number, and results are
+// bit-identical either way.
+func benchPhase1Sized(b *testing.B, nodes, links, maxIter, workers int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g, err := topogen.Generate(topogen.Spec{Kind: topogen.RandKind, Nodes: nodes, DirectedLinks: links}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	demD, demT := traffic.Gravity(g.NumNodes(), 1, 0.3, rng)
+	if _, err := routing.ScaleToAvgUtil(g, demD, demT, 0.43); err != nil {
+		b.Fatal(err)
+	}
+	ev := routing.NewEvaluator(g, demD, demT, cost.DefaultParams(), routing.WorstPath)
+	cfg := opt.QuickConfig()
+	cfg.MaxIter1 = maxIter
+	cfg.P1 = 1
+	cfg.Div1Interval = maxIter
+	cfg.Parallelism = workers
+	var stats opt.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		p1 := opt.New(ev, cfg).RunPhase1()
+		stats = p1.Stats
+	}
+	b.ReportMetric(stats.EvalsPerSec(), "evals_per_sec")
+}
+
+func BenchmarkPhase1Incremental300(b *testing.B) {
+	benchPhase1Sized(b, 300, 1500, 2, 1)
+}
+
+func BenchmarkPhase1Incremental1000(b *testing.B) {
+	benchPhase1Sized(b, 1000, 5000, 1, runtime.GOMAXPROCS(0))
+}
+
 // BenchmarkRepairVsDijkstra isolates the tentpole primitive: one
 // destination's SPF on the Table III 100-node RandTopo maintained
 // through link-down/link-up event pairs, by a fresh Dijkstra per event
@@ -366,6 +414,127 @@ func BenchmarkRepairVsDijkstra(b *testing.B) {
 			ws.RepairLinkUp(g, w, li, mask)
 		}
 	})
+}
+
+// BenchmarkRecomputeSerialVsParallel1000 measures the parallel
+// recompute at the 1000-node scale it was built for: one persistent
+// session over a 1000-node hierarchical ISP driven by weight
+// apply/revert pairs, serial versus SetParallelism(0) (= GOMAXPROCS).
+// Both modes replay the identical deterministic move sequence and
+// produce bit-identical results (the equivalence tests' contract), so
+// the Serial/Parallel ns/op ratio is the recompute speedup; on a
+// multi-core machine the acceptance bar is ≥3× at 4+ cores, and on a
+// single-core runner the two collapse to the same number.
+func BenchmarkRecomputeSerialVsParallel1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := topogen.Generate(topogen.Spec{Kind: topogen.HierKind, Nodes: 1000}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	demD, demT := traffic.Gravity(g.NumNodes(), 1, 0.3, rng)
+	if _, err := routing.ScaleToAvgUtil(g, demD, demT, 0.43); err != nil {
+		b.Fatal(err)
+	}
+	ev := routing.NewEvaluator(g, demD, demT, cost.DefaultParams(), routing.WorstPath)
+	w := routing.RandomWeightSetting(g.NumLinks(), 20, rng)
+	ses := ev.NewSession(nil, -1)
+	ses.Init(w)
+	m := g.NumLinks()
+	run := func(b *testing.B, workers int) {
+		ses.SetParallelism(workers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := (i * 7919) % m
+			ses.Apply(l, int32(1+(i*13)%20), int32(1+(i*17)%20))
+			ses.Revert()
+		}
+	}
+	b.Run("Serial", func(b *testing.B) { run(b, 1) })
+	b.Run("Parallel", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkBatchLinkRepair measures batched multi-link repair on the
+// SRLG shape it was built for: an 8-link shared-risk group tripping and
+// restoring on a persistent session over the Table III 100-node
+// RandTopo. PerEvent applies the 16 flips one SetLinkState at a time
+// (16 classify/repair/re-sum rounds); Batched uses two SetLinkStates
+// calls (one multi-link Ramalingam–Reps pass per affected destination
+// per transition). Results are bit-identical; the PerEvent/Batched
+// ns/op ratio is the batch speedup (acceptance bar: ≥2×).
+func BenchmarkBatchLinkRepair(b *testing.B) {
+	ev, w := benchEvaluator(b, 100, 500)
+	srlg := []int{3, 61, 119, 204, 268, 333, 401, 477}
+	trip := make([]routing.LinkStateChange, len(srlg))
+	restore := make([]routing.LinkStateChange, len(srlg))
+	for i, li := range srlg {
+		trip[i] = routing.LinkStateChange{Link: li, Up: false}
+		restore[i] = routing.LinkStateChange{Link: li, Up: true}
+	}
+	b.Run("PerEvent", func(b *testing.B) {
+		ses := ev.NewSession(nil, -1)
+		ses.Init(w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, li := range srlg {
+				ses.SetLinkState(li, false)
+			}
+			for _, li := range srlg {
+				ses.SetLinkState(li, true)
+			}
+		}
+	})
+	b.Run("Batched", func(b *testing.B) {
+		ses := ev.NewSession(nil, -1)
+		ses.Init(w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ses.SetLinkStates(trip)
+			ses.SetLinkStates(restore)
+		}
+	})
+}
+
+// BenchmarkBatchDemandDelta measures the dense demand path on a
+// many-column update: a surge delta moving ~30% of the destination
+// columns (both classes), applied and inverted on a persistent session
+// over the 100-node RandTopo. PerColumn forces the sparse path (per
+// column undo stash and changed-link discovery) via threshold 1; Dense
+// is the shipped path, which refreshes the changed contributions in
+// place and re-sums every link load once. Results are bit-identical;
+// the PerColumn/Dense ns/op ratio is the dense path's speedup.
+func BenchmarkBatchDemandDelta(b *testing.B) {
+	ev, w := benchEvaluator(b, 100, 500)
+	n := ev.Graph().NumNodes()
+	surD := ev.DemandDelay().Clone()
+	surT := ev.DemandThroughput().Clone()
+	for t := 0; t < n; t += 3 {
+		for s := 0; s < n; s++ {
+			if s == t {
+				continue
+			}
+			surD.Set(s, t, surD.At(s, t)*3)
+			surT.Set(s, t, surT.At(s, t)*2)
+		}
+	}
+	onD := traffic.Diff(ev.DemandDelay(), surD)
+	onT := traffic.Diff(ev.DemandThroughput(), surT)
+	offD, offT := onD.Inverse(), onT.Inverse()
+	run := func(b *testing.B, frac float64) {
+		ses := ev.NewScenarioSession(nil, -1, nil, nil)
+		ses.SetDemandBatchThreshold(frac)
+		ses.Init(w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ses.ApplyDemandDelta(onD, onT)
+			ses.ApplyDemandDelta(offD, offT)
+		}
+	}
+	b.Run("PerColumn", func(b *testing.B) { run(b, 1) })
+	b.Run("Dense", func(b *testing.B) { run(b, 0.1) })
 }
 
 // BenchmarkSetDemandsFullVsDelta isolates the demand-delta tentpole: a

@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	topology := flag.String("topology", "rand", "topology family: rand|near|pl|isp")
+	topology := flag.String("topology", "rand", "topology family: rand|near|pl|isp|hier")
 	nodes := flag.Int("nodes", 20, "node count (synthetic topologies)")
 	links := flag.Int("links", 100, "directed link count (rand/near)")
 	theta := flag.Float64("sla", 25, "SLA delay bound in ms")
@@ -47,6 +47,7 @@ func main() {
 	surges := flag.Int("surges", 3, "hot-spot surge scenarios in the scenario day")
 	maxChanges := flag.Int("max-changes", 5, "weight-change budget per migration stage in replay mode")
 
+	workers := flag.Int("workers", 1, "recompute workers per candidate session (0 = GOMAXPROCS); results are identical at any setting")
 	listen := flag.String("listen", "", "HTTP listen address (e.g. :8484); empty with -replay exits after the replay")
 	replay := flag.Bool("replay", false, "replay the scenario day as telemetry before serving")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -113,7 +114,7 @@ func main() {
 		start := time.Now()
 		fmt.Printf("dtrd: building a %d-configuration library over %d scenarios (budget %s)...\n",
 			*build, day.Size(), *budget)
-		if lib, err = net.BuildLibrary(day, repro.LibraryOptions{Size: *build, Budget: *budget, Seed: *seed}); err != nil {
+		if lib, err = net.BuildLibrary(day, repro.LibraryOptions{Size: *build, Budget: *budget, Seed: *seed, Workers: *workers}); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("dtrd: library ready in %s: %v\n", time.Since(start).Round(time.Millisecond), lib.Names())
@@ -132,6 +133,9 @@ func main() {
 	ctrl, err := net.NewController(lib)
 	if err != nil {
 		fatal(err)
+	}
+	if *workers != 1 {
+		ctrl.SetParallelism(*workers) // <= 0 resolves to GOMAXPROCS
 	}
 
 	if *replay {

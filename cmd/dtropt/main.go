@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro"
@@ -38,7 +39,7 @@ func writeMetricsSnapshot(reg *obsv.Registry, path string) error {
 }
 
 func main() {
-	topology := flag.String("topology", "rand", "topology family: rand|near|pl|isp")
+	topology := flag.String("topology", "rand", "topology family: rand|near|pl|isp|hier")
 	nodes := flag.Int("nodes", 30, "node count (synthetic topologies)")
 	links := flag.Int("links", 180, "directed link count (rand/near)")
 	edgesPerNode := flag.Int("m", 3, "attachment count (pl)")
@@ -48,6 +49,7 @@ func main() {
 	budget := flag.String("budget", "std", "search budget: quick|std|paper")
 	frac := flag.Float64("critfrac", 0.15, "critical set size |Ec|/|E|")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "recompute workers per search session (0 = GOMAXPROCS); results are identical at any setting")
 	save := flag.String("save", "", "alias of -weights-out")
 	load := flag.String("load", "", "alias of -weights-in")
 	weightsOut := flag.String("weights-out", "", "write the robust routing to this file as JSON (the format dtrd -weights and Network.RoutingFromJSON consume)")
@@ -115,8 +117,11 @@ func main() {
 		return
 	}
 
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	start := time.Now()
-	res, err := net.Optimize(repro.OptimizeOptions{Budget: *budget, CriticalFraction: *frac, Seed: *seed})
+	res, err := net.Optimize(repro.OptimizeOptions{Budget: *budget, CriticalFraction: *frac, Seed: *seed, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtropt:", err)
 		os.Exit(1)

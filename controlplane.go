@@ -89,6 +89,9 @@ type LibraryOptions struct {
 	// SessionMemoryBudgetBytes caps the incremental-session memory of
 	// each cluster search (0 = the 1 GiB default); see OptimizeOptions.
 	SessionMemoryBudgetBytes int64
+	// Workers is the per-session recompute worker budget of the cluster
+	// searches (0 or 1 = serial); see OptimizeOptions.Workers.
+	Workers int
 	// Seed drives the search and the clustering.
 	Seed int64
 }
@@ -113,6 +116,7 @@ func (n *Network) BuildLibrary(set *ScenarioSet, opts LibraryOptions) (*Library,
 	}
 	cfg.Seed = opts.Seed
 	cfg.SessionBudgetBytes = opts.SessionMemoryBudgetBytes
+	cfg.Parallelism = opts.Workers
 	lib, err := ctrl.BuildLibrary(n.ev, set.set, ctrl.BuildConfig{K: opts.Size, Opt: cfg})
 	if err != nil {
 		return nil, err
@@ -164,6 +168,17 @@ type Controller struct {
 	sel      *ctrl.Selector
 	deployed *routing.WeightSetting
 	active   int // library index the deployed weights equal, -1 mid-migration
+}
+
+// SetParallelism sets the recompute worker budget of every candidate
+// session the controller keeps (routing.Session.SetParallelism): k <= 0
+// means GOMAXPROCS, 1 (the default) keeps each session serial. Results
+// are bit-identical at every setting; workers trade only the wall-clock
+// latency of Observe on large topologies.
+func (c *Controller) SetParallelism(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sel.SetParallelism(k)
 }
 
 // NewController starts a controller on the intact network with base

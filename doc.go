@@ -32,6 +32,11 @@
 // move can touch, bit-identical to from-scratch evaluation (see
 // DESIGN.md, "The incremental evaluation engine"); OptimizeResult's
 // Phase1Stats/Phase2Stats report the resulting evaluation throughput.
+// On large topologies — Topology "hier" generates hierarchical ISPs
+// sized for 1000+ nodes — OptimizeOptions.Workers (and
+// Controller.SetParallelism) shard each session's per-destination
+// recompute across cores; results stay bit-identical at every worker
+// count, so parallelism changes wall-clock time only.
 //
 // The flexibility axis runs online: BuildLibrary precomputes a small
 // set of configurations by clustering the scenario space and

@@ -64,6 +64,19 @@ func NewSelector(ev *routing.Evaluator, lib *Library) (*Selector, error) {
 	return s, nil
 }
 
+// SetParallelism sets the per-session recompute worker budget
+// (routing.Session.SetParallelism) of every candidate session: k <= 0
+// means GOMAXPROCS, 1 (the default) keeps each session serial. Results
+// are bit-identical at every setting. Observe already fans the k
+// candidate sessions out one-per-goroutine, so per-session workers pay
+// off when the library is small relative to the machine — the two
+// levels multiply.
+func (s *Selector) SetParallelism(k int) {
+	for _, ses := range s.sessions {
+		ses.SetParallelism(k)
+	}
+}
+
 // Library returns the library the selector serves.
 func (s *Selector) Library() *Library { return s.lib }
 

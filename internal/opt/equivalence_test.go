@@ -96,6 +96,42 @@ func TestIncrementalMatchesFullEval(t *testing.T) {
 	}
 }
 
+// TestParallelismMatchesSerial pins the Parallelism knob end to end:
+// the full pipeline at Parallelism 3 must reproduce the serial run bit
+// for bit — same weights, costs and critical set — since session
+// parallelism may change only wall-clock time.
+func TestParallelismMatchesSerial(t *testing.T) {
+	cfg := testConfig()
+	cfg.Seed = 19
+
+	serial := New(equivalenceEvaluator(t, topogen.RandKind, 8, 40, 23), cfg).Run()
+
+	cfgPar := cfg
+	cfgPar.Parallelism = 3
+	par := New(equivalenceEvaluator(t, topogen.RandKind, 8, 40, 23), cfgPar).Run()
+
+	if !serial.Phase1.BestW.Equal(par.Phase1.BestW) {
+		t.Error("phase 1 best weights differ under parallelism")
+	}
+	if serial.Phase1.Best.Cost != par.Phase1.Best.Cost {
+		t.Errorf("phase 1 best cost %+v != %+v", serial.Phase1.Best.Cost, par.Phase1.Best.Cost)
+	}
+	if len(serial.Critical) != len(par.Critical) {
+		t.Fatalf("critical set sizes differ: %d vs %d", len(serial.Critical), len(par.Critical))
+	}
+	for i := range serial.Critical {
+		if serial.Critical[i] != par.Critical[i] {
+			t.Errorf("critical link %d differs: %d vs %d", i, serial.Critical[i], par.Critical[i])
+		}
+	}
+	if !serial.Phase2.BestW.Equal(par.Phase2.BestW) {
+		t.Error("phase 2 best weights differ under parallelism")
+	}
+	if serial.Phase2.FailCost != par.Phase2.FailCost {
+		t.Errorf("phase 2 fail cost %+v != %+v", serial.Phase2.FailCost, par.Phase2.FailCost)
+	}
+}
+
 // TestRunPhase2SetMatchesFailureSet checks the generalized scenario
 // entry point against the FailureSet path: the same link failures
 // expressed as a scenario.Set must yield bit-identical Phase 2 results

@@ -138,6 +138,9 @@ func (o *Optimizer) RunPhase1() *Phase1Result {
 	var ses *routing.Session
 	if !cfg.FullEval {
 		ses = o.ev.NewSession(nil, -1)
+		if cfg.Parallelism > 1 {
+			ses.SetParallelism(cfg.Parallelism)
+		}
 	}
 	w := routing.RandomWeightSetting(m, cfg.WMax, o.rng)
 	var cur, cand routing.Result

@@ -211,6 +211,12 @@ func (o *Optimizer) runPhase2(p1 *Phase1Result, scens []phase2Scenario) *Phase2R
 	var fses []*routing.Session
 	if useSessions {
 		nses = o.ev.NewSession(nil, -1)
+		if cfg.Parallelism > 1 {
+			// Only the normal-conditions session parallelizes internally:
+			// the scenario sessions already fan out one-per-worker below,
+			// and nesting the two levels would oversubscribe.
+			nses.SetParallelism(cfg.Parallelism)
+		}
 		fses = make([]*routing.Session, len(scens))
 		for i, sc := range scens {
 			fses[i] = o.ev.NewScenarioSession(sc.mask, sc.skip, sc.demD, sc.demT)

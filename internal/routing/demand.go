@@ -23,6 +23,13 @@ import (
 // (n per class) rebases from scratch instead of refreshing per column.
 const demandRebaseFracDefault = 0.5
 
+// demandDenseFracDefault is the default dense-path threshold: a demand
+// update changing more than this fraction of the 2n columns (but not
+// enough to rebase) refreshes the changed contributions in place and
+// re-sums every link load once, instead of paying per-column undo
+// bookkeeping and changed-link discovery.
+const demandDenseFracDefault = 0.1
+
 // SetDemandRebaseThreshold tunes the demand-update fallback: updates
 // changing more than frac of the 2n destination columns re-base with a
 // full Init instead of the incremental column refresh. frac 0 forces
@@ -33,6 +40,18 @@ const demandRebaseFracDefault = 0.5
 // constant factors.
 func (s *Session) SetDemandRebaseThreshold(frac float64) {
 	s.rebaseFrac = min(max(frac, 0), 1)
+}
+
+// SetDemandBatchThreshold tunes where demand updates switch from the
+// sparse per-column refresh (undo stash, changed-link discovery) to the
+// dense batch path (contributions recomputed in place, every link load
+// re-summed once): updates changing more than frac of the 2n destination
+// columns go dense. frac 0 sends every update down the dense path; frac
+// 1 disables it (the pre-batch behavior, kept as the test oracle).
+// Values are clamped to [0, 1]; the default is 0.1. Both paths produce
+// bit-identical results — the threshold trades only constant factors.
+func (s *Session) SetDemandBatchThreshold(frac float64) {
+	s.denseFrac = min(max(frac, 0), 1)
 }
 
 // SetDemands replaces the session's demand matrices — a dense
@@ -133,6 +152,34 @@ func (s *Session) refreshDemands(chgD, chgT []int) Result {
 	u.droppedT = s.droppedT
 	s.affD, s.affT = s.affD[:0], s.affT[:0]
 	s.dagD, s.dagT = s.dagD[:0], s.dagT[:0]
+	nAlive := 0
+	for _, t := range chgD {
+		if s.alive(t) {
+			nAlive++
+		}
+	}
+	for _, t := range chgT {
+		if s.alive(t) {
+			nAlive++
+		}
+	}
+	if nAlive == 0 {
+		return s.res // only dead destinations' columns moved
+	}
+	if float64(nAlive) > s.denseFrac*float64(2*n) {
+		// Dense batch path: recompute the changed contributions in place
+		// (distances and DAGs are untouched by demand moves) and re-sum
+		// every link load once in Init's exact addition order — same
+		// bits, none of the per-column undo and diff bookkeeping.
+		if m := met.Get(); m != nil {
+			m.demandDense.Inc()
+		}
+		s.denseD, s.denseT = chgD, chgT
+		s.denseCols = true
+		s.recompute(u)
+		s.denseCols = false
+		return s.res
+	}
 	for _, t := range chgD {
 		if s.alive(t) {
 			s.dagD = append(s.dagD, t)
@@ -142,9 +189,6 @@ func (s *Session) refreshDemands(chgD, chgT []int) Result {
 		if s.alive(t) {
 			s.dagT = append(s.dagT, t)
 		}
-	}
-	if len(s.dagD)+len(s.dagT) == 0 {
-		return s.res // only dead destinations' columns moved
 	}
 	s.recompute(u)
 	return s.res

@@ -71,6 +71,14 @@ type Evaluator struct {
 
 	phiUncap float64
 	pool     sync.Pool
+
+	// Shared free list of session workers (parallel.go): sessions borrow
+	// per-goroutine scratch for their parallel regions here, so an
+	// optimizer or selector holding many sessions shares one pool and
+	// steady-state recomputes allocate nothing. A plain mutex-guarded
+	// list (not a sync.Pool) so workers are never dropped by the GC.
+	wkMu   sync.Mutex
+	wkFree []*sesWorker
 }
 
 // NewEvaluator builds an evaluator. The matrices must match the graph's

@@ -46,7 +46,6 @@ type Session struct {
 	mask     *graph.Mask
 	skipNode int
 	w        *WeightSetting
-	ws       *spf.Workspace
 	// demD and demT are the demand matrices the session evaluates —
 	// the evaluator's base traffic unless overridden at construction
 	// (NewScenarioSession), by SetDemands, or by ApplyDemandDelta.
@@ -81,18 +80,44 @@ type Session struct {
 	res                   Result
 
 	// Scratch.
-	demCol, delays []float64
-	flow           []float64
-	affD, affT     []int // destinations needing a fresh Dijkstra
-	dagD, dagT     []int // destinations needing only a DAG/load refresh
-	chgLinks       []int
-	linkMark       []int32
-	markEpoch      int32
-	needDP         []bool
-	colMark        []int32 // per-destination dedup marks for demand deltas
-	colEpoch       int32
-	chgColsD       []int // changed demand columns per class, ascending
-	chgColsT       []int
+	affD, affT []int // destinations needing a fresh Dijkstra
+	dagD, dagT []int // destinations needing only a DAG/load refresh
+	chgLinks   []int
+	linkMark   []int32
+	markEpoch  int32
+	needDP     []bool
+	colMark    []int32 // per-destination dedup marks for demand deltas
+	colEpoch   int32
+	chgColsD   []int // changed demand columns per class, ascending
+	chgColsT   []int
+
+	// Parallel-recompute state (see parallel.go). self is worker 0 — the
+	// session's own scratch buffers, the only worker the serial path
+	// touches; extra workers are borrowed from the evaluator's shared
+	// free list while a recompute's parallel regions run.
+	parK     int // worker budget; 1 = serial (the default)
+	self     sesWorker
+	workers  []*sesWorker
+	tasks    []destTask
+	lamQ     []int // Init's alive-destination list
+	lamRun   []int // region 3's task list (u.lamDests or lamQ)
+	pr       parRun
+	parGo    func() // parBody pre-bound once, so spawns allocate nothing
+	resumAll bool   // region 2 re-sums every link (dense demand path)
+
+	// Batched link events (SetLinkStates; see linkbatch.go).
+	lsChanges      []LinkStateChange // effective flips, deduplicated
+	lsMark         []int32           // this epoch: link goes down in the batch
+	lsEpoch        int32
+	batchD, batchT []spf.LinkChange // the batch in each class's weights
+
+	// Dense demand path (see demand.go): when a demand update moves more
+	// than denseFrac of the 2n columns, changed columns refresh in place
+	// and every link load is re-summed, skipping per-column undo
+	// bookkeeping and changed-link discovery.
+	denseFrac      float64
+	denseCols      bool
+	denseD, denseT []int
 
 	undo        undoState
 	freeDest    []delayDest
@@ -101,23 +126,25 @@ type Session struct {
 	canRevert   bool
 	inited      bool
 
-	// chg describes the single-link event driving the current recompute,
-	// so Dijkstra-required destinations can repair their snapshots
-	// (spf.State.Repair / Workspace.RepairLink*) instead of re-running
-	// Dijkstra. Init rebases from scratch and demand updates classify
-	// every touched destination as DAG-only, so neither sets it.
+	// chg describes the link event driving the current recompute, so
+	// Dijkstra-required destinations can repair their snapshots
+	// (spf.State.Repair / Workspace.RepairLink* / State.RepairBatch)
+	// instead of re-running Dijkstra. Init rebases from scratch and
+	// demand updates classify every touched destination as DAG-only, so
+	// neither sets it. chgBatch takes the link set from batchD/batchT.
 	chg struct {
-		kind       int // chgWeight, chgLinkDown, chgLinkUp
+		kind       int // chgWeight, chgLinkDown, chgLinkUp, chgBatch
 		link       int
 		oldD, oldT int32 // pre-move class weights (chgWeight only)
 	}
 }
 
-// Kinds of single-link change a recompute can repair from.
+// Kinds of link change a recompute can repair from.
 const (
 	chgWeight = iota
 	chgLinkDown
 	chgLinkUp
+	chgBatch
 )
 
 // delayDest is one destination's delay-class cache: the SPF snapshot plus
@@ -165,14 +192,13 @@ type undoState struct {
 func (e *Evaluator) NewSession(mask *graph.Mask, skipNode int) *Session {
 	n, m := e.g.NumNodes(), e.g.NumLinks()
 	linkFrom, linkTo := e.g.LinkEndpoints()
-	return &Session{
+	s := &Session{
 		e:          e,
 		mask:       mask,
 		skipNode:   skipNode,
 		demD:       e.demD,
 		demT:       e.demT,
 		w:          NewWeightSetting(m),
-		ws:         spf.NewWorkspace(e.g),
 		dDest:      make([]delayDest, n),
 		tStates:    make([]spf.State, n),
 		linkFrom:   linkFrom,
@@ -188,14 +214,24 @@ func (e *Evaluator) NewSession(mask *graph.Mask, skipNode int) *Session {
 		loadTot:    make([]float64, m),
 		linkDelay:  make([]float64, m),
 		linkUtil:   make([]float64, m),
-		demCol:     make([]float64, n),
-		delays:     make([]float64, n),
-		flow:       make([]float64, n),
 		linkMark:   make([]int32, m),
 		needDP:     make([]bool, n),
 		colMark:    make([]int32, n),
+		lsMark:     make([]int32, m),
+		parK:       1,
 		rebaseFrac: demandRebaseFracDefault,
+		denseFrac:  demandDenseFracDefault,
 	}
+	s.self = sesWorker{
+		ws:     spf.NewWorkspace(e.g),
+		demCol: make([]float64, n),
+		flow:   make([]float64, n),
+		delays: make([]float64, n),
+		lmark:  make([]int32, m),
+	}
+	s.workers = append(s.workers, &s.self)
+	s.parGo = s.parBody
+	return s
 }
 
 // NewScenarioSession returns a session for an arbitrary scenario: the
@@ -264,8 +300,8 @@ func (s *Session) Init(w *WeightSetting) Result {
 	if m := met.Get(); m != nil {
 		m.inits.Inc()
 	}
-	e, g := s.e, s.e.g
-	n := g.NumNodes()
+	e := s.e
+	n := e.g.NumNodes()
 	s.w.CopyFrom(w)
 	s.recycleUndo()
 	s.canRevert = false
@@ -274,47 +310,56 @@ func (s *Session) Init(w *WeightSetting) Result {
 	clear(s.loadD)
 	clear(s.loadT)
 	s.droppedT = 0
+
+	// Per-destination fill (SPF runs, DAGs, load contributions),
+	// parallelized across the session's workers. The cross-destination
+	// load sums happen below, serially and destination-ascending, so the
+	// result is bit-identical at any parallelism level.
+	s.lamQ = s.lamQ[:0]
 	for t := 0; t < n; t++ {
 		if !s.alive(t) {
 			continue
 		}
-		// Delay class.
-		s.ws.Run(g, s.w.Delay, t, s.mask)
-		s.ws.Save(&s.dDest[t].state)
-		s.buildDAG(&s.dDest[t])
-		demandColumn(s.demD, t, s.skipNode, s.demCol)
 		s.dContrib[t] = resizeFloats(s.dContrib[t], len(s.loadD))
-		s.ws.AccumulateLoadsInto(g, s.w.Delay, s.demCol, s.mask, s.dContrib[t])
-		addLoads(s.loadD, s.dContrib[t])
-		// Throughput class.
-		s.ws.Run(g, s.w.Throughput, t, s.mask)
-		s.ws.Save(&s.tStates[t])
-		demandColumn(s.demT, t, s.skipNode, s.demCol)
 		s.tContrib[t] = resizeFloats(s.tContrib[t], len(s.loadT))
-		d := s.ws.AccumulateLoadsInto(g, s.w.Throughput, s.demCol, s.mask, s.tContrib[t])
-		s.tDropped[t] = d
-		s.droppedT += d
+		s.lamQ = append(s.lamQ, t)
+	}
+	s.beginPar()
+	s.countDestTasks(s.runRegion(regionInit, len(s.lamQ)), len(s.lamQ))
+	for _, t := range s.lamQ {
+		addLoads(s.loadD, s.dContrib[t])
 		addLoads(s.loadT, s.tContrib[t])
+		s.droppedT += s.tDropped[t]
 	}
 
 	phi, maxUtil, sumUtil, aliveLinks := e.linkPass(s.loadD, s.loadT, s.loadTot, s.linkDelay, s.linkUtil, s.mask)
 	phi += s.droppedT * phiDropPenaltyPerMbps
 
+	s.lamRun = s.lamQ
+	s.runRegion(regionLambda, len(s.lamRun))
+	s.endPar()
 	var lambda float64
 	violations, disconnected := 0, 0
-	for t := 0; t < n; t++ {
-		if !s.alive(t) {
-			continue
-		}
-		lt, vt, dt := s.destLambdaCached(&s.dDest[t])
-		s.lambdaT[t], s.violT[t], s.discT[t] = lt, vt, dt
-		lambda += lt
-		violations += vt
-		disconnected += dt
+	for _, t := range s.lamQ {
+		lambda += s.lambdaT[t]
+		violations += s.violT[t]
+		disconnected += s.discT[t]
 	}
 
 	s.res = s.assemble(lambda, phi, violations, disconnected, maxUtil, sumUtil, aliveLinks)
 	return s.res
+}
+
+// countDestTasks feeds the parallel-vs-serial destination-task counters:
+// k is the worker count a region ran with, ntasks its task count.
+func (s *Session) countDestTasks(k, ntasks int) {
+	if m := met.Get(); m != nil {
+		if k > 1 {
+			m.destsParallel.Add(int64(ntasks))
+		} else {
+			m.destsSerial.Add(int64(ntasks))
+		}
+	}
 }
 
 // Apply changes link l's class weights to (wd, wt), incrementally
@@ -395,80 +440,100 @@ func (s *Session) recompute(u *undoState) {
 	u.affD = append(append(u.affD[:0], s.affD...), s.dagD...)
 	u.affT = append(append(u.affT[:0], s.affT...), s.dagT...)
 
-	// Recompute the affected destinations of each class, stashing the old
-	// snapshots/contributions and collecting links whose load terms
-	// changed. Dijkstra-required recomputes repair the pre-change snapshot
-	// (Ramalingam–Reps: only the vertices whose distance moved are
-	// revisited; see spf/repair.go); membership-only ones keep the
-	// (provably unchanged) distances and just refresh the DAG and the
-	// ECMP load split.
-	s.markEpoch++
-	s.chgLinks = s.chgLinks[:0]
-	for _, t := range s.affD {
-		u.oldDDest = append(u.oldDDest, s.dDest[t])
-		s.dDest[t] = s.newDest()
-		st := &s.dDest[t].state
-		st.CopyFrom(&u.oldDDest[len(u.oldDDest)-1].state)
-		switch s.chg.kind {
-		case chgWeight:
-			st.Repair(s.ws, g, s.w.Delay, s.chg.link, s.chg.oldD, s.w.Delay[s.chg.link], s.mask)
-		case chgLinkDown:
-			st.RepairLink(s.ws, g, s.w.Delay, s.chg.link, false, s.mask)
-		case chgLinkUp:
-			st.RepairLink(s.ws, g, s.w.Delay, s.chg.link, true, s.mask)
+	// Serial prep: stash the old per-destination caches and pop their
+	// replacements from the free lists in a fixed order (affD, dagD,
+	// affT, dagT — the order Revert indexes the stash by), building the
+	// task list for region 1. On the dense demand path the changed
+	// columns refresh in place instead: no stash, no undo.
+	s.tasks = s.tasks[:0]
+	thruTouched := false
+	if s.denseCols {
+		for _, t := range s.denseD {
+			if s.alive(t) {
+				s.tasks = append(s.tasks, destTask{t: int32(t), oldIdx: -1, kind: taskDelayDense})
+			}
 		}
-		s.refreshDelayDest(t, s.demD, u)
-	}
-	for _, t := range s.dagD {
-		u.oldDDest = append(u.oldDDest, s.dDest[t])
-		s.dDest[t] = s.newDest()
-		// Distances are provably unchanged; the refresh reads the copied
-		// snapshot directly (the workspace is only needed by the
-		// throughput class's load accumulation below).
-		s.dDest[t].state.CopyFrom(&u.oldDDest[len(u.oldDDest)-1].state)
-		s.refreshDelayDest(t, s.demD, u)
-	}
-	for _, t := range s.affT {
-		u.oldTStates = append(u.oldTStates, s.tStates[t])
-		s.tStates[t] = s.newState()
-		// The throughput refresh accumulates loads off the workspace, so
-		// repair the snapshot inside it: restore the pre-change state,
-		// repair in place, save the result.
-		s.ws.Restore(&u.oldTStates[len(u.oldTStates)-1])
-		switch s.chg.kind {
-		case chgWeight:
-			s.ws.Repair(g, s.w.Throughput, s.chg.link, s.chg.oldT, s.w.Throughput[s.chg.link], s.mask)
-		case chgLinkDown:
-			s.ws.RepairLinkDown(g, s.w.Throughput, s.chg.link, s.mask)
-		case chgLinkUp:
-			s.ws.RepairLinkUp(g, s.w.Throughput, s.chg.link, s.mask)
+		for _, t := range s.denseT {
+			if s.alive(t) {
+				s.tasks = append(s.tasks, destTask{t: int32(t), oldIdx: -1, kind: taskThruDense})
+				thruTouched = true
+			}
 		}
-		s.ws.Save(&s.tStates[t])
-		s.refreshThroughputDest(t, s.demT, u)
-	}
-	for _, t := range s.dagT {
-		u.oldTStates = append(u.oldTStates, s.tStates[t])
-		s.tStates[t] = s.newState()
-		s.tStates[t].CopyFrom(&u.oldTStates[len(u.oldTStates)-1])
-		s.ws.Restore(&s.tStates[t])
-		s.refreshThroughputDest(t, s.demT, u)
+	} else {
+		for i, t := range s.affD {
+			u.oldDDest = append(u.oldDDest, s.dDest[t])
+			s.dDest[t] = s.newDest()
+			u.oldDContrib = append(u.oldDContrib, s.dContrib[t])
+			s.dContrib[t] = s.newContrib()
+			s.tasks = append(s.tasks, destTask{t: int32(t), oldIdx: int32(i), kind: taskDelayFull})
+		}
+		base := len(s.affD)
+		for j, t := range s.dagD {
+			u.oldDDest = append(u.oldDDest, s.dDest[t])
+			s.dDest[t] = s.newDest()
+			u.oldDContrib = append(u.oldDContrib, s.dContrib[t])
+			s.dContrib[t] = s.newContrib()
+			s.tasks = append(s.tasks, destTask{t: int32(t), oldIdx: int32(base + j), kind: taskDelayDAG})
+		}
+		for i, t := range s.affT {
+			u.oldTStates = append(u.oldTStates, s.tStates[t])
+			s.tStates[t] = s.newState()
+			u.oldTContrib = append(u.oldTContrib, s.tContrib[t])
+			s.tContrib[t] = s.newContrib()
+			u.oldTDropped = append(u.oldTDropped, s.tDropped[t])
+			s.tasks = append(s.tasks, destTask{t: int32(t), oldIdx: int32(i), kind: taskThruFull})
+		}
+		base = len(s.affT)
+		for j, t := range s.dagT {
+			u.oldTStates = append(u.oldTStates, s.tStates[t])
+			s.tStates[t] = s.newState()
+			u.oldTContrib = append(u.oldTContrib, s.tContrib[t])
+			s.tContrib[t] = s.newContrib()
+			u.oldTDropped = append(u.oldTDropped, s.tDropped[t])
+			s.tasks = append(s.tasks, destTask{t: int32(t), oldIdx: int32(base + j), kind: taskThruDAG})
+		}
+		thruTouched = len(s.affT)+len(s.dagT) > 0
 	}
 
-	// Re-sum the changed links' class loads over all destinations in
-	// ascending order — the same order the from-scratch pass adds them,
-	// so unchanged terms reproduce the exact same floating-point sums.
-	for _, li := range s.chgLinks {
-		var sumD, sumT float64
-		for t := 0; t < n; t++ {
-			if !s.alive(t) {
-				continue
+	// Region 1: refresh the affected destinations. Dijkstra-required
+	// recomputes repair the pre-change snapshot (Ramalingam–Reps; see
+	// spf/repair.go and spf/batch.go for the multi-link form);
+	// membership-only ones keep the (provably unchanged) distances and
+	// just refresh the DAG and the ECMP load split. Each task touches
+	// only its destination's slots; changed-link candidates go to
+	// per-worker lists.
+	s.beginPar()
+	s.countDestTasks(s.runRegion(regionDests, len(s.tasks)), len(s.tasks))
+
+	// Serial merge: deduplicate the workers' changed-link candidates in
+	// worker order. Only the resulting set matters — each changed link's
+	// re-sum below is independent and deterministic.
+	s.markEpoch++
+	s.chgLinks = s.chgLinks[:0]
+	s.resumAll = s.denseCols
+	nlinks := 0
+	if s.resumAll {
+		nlinks = len(s.loadD)
+	} else {
+		for _, wk := range s.workers {
+			for _, li := range wk.cand {
+				if s.linkMark[li] != s.markEpoch {
+					s.linkMark[li] = s.markEpoch
+					s.chgLinks = append(s.chgLinks, li)
+				}
 			}
-			sumD += s.dContrib[t][li]
-			sumT += s.tContrib[t][li]
 		}
-		s.loadD[li], s.loadT[li] = sumD, sumT
+		nlinks = len(s.chgLinks)
 	}
-	if len(s.affT)+len(s.dagT) > 0 {
+
+	// Region 2: re-sum the changed links' class loads over all
+	// destinations in ascending order — the same order the from-scratch
+	// pass adds them, so unchanged terms reproduce the exact same
+	// floating-point sums. (The dense path re-sums every link, which is
+	// Init's exact per-link addition order.)
+	s.runRegion(regionLinks, nlinks)
+	s.resumAll = false
+	if thruTouched {
 		var sum float64
 		for t := 0; t < n; t++ {
 			if !s.alive(t) {
@@ -491,9 +556,10 @@ func (s *Session) recompute(u *undoState) {
 		}
 	}
 
-	// The Λ pass must be redone for destinations whose DAG changed and
-	// for destinations whose (unchanged) DAG crosses a link whose delay
-	// changed.
+	// The Λ pass must be redone for destinations whose DAG changed, for
+	// destinations whose demand column changed (Λ weighs pairs by
+	// demand), and for destinations whose (unchanged) DAG crosses a link
+	// whose delay changed.
 	for i := range s.needDP {
 		s.needDP[i] = false
 	}
@@ -502,6 +568,13 @@ func (s *Session) recompute(u *undoState) {
 	}
 	for _, t := range s.dagD {
 		s.needDP[t] = true
+	}
+	if s.denseCols {
+		for _, t := range s.denseD {
+			if s.alive(t) {
+				s.needDP[t] = true
+			}
+		}
 	}
 	if len(s.chgLinks) > 0 {
 		for t := 0; t < n; t++ {
@@ -530,9 +603,14 @@ func (s *Session) recompute(u *undoState) {
 		u.oldLambda = append(u.oldLambda, s.lambdaT[t])
 		u.oldViol = append(u.oldViol, s.violT[t])
 		u.oldDisc = append(u.oldDisc, s.discT[t])
-		lt, vt, dt := s.destLambdaCached(&s.dDest[t])
-		s.lambdaT[t], s.violT[t], s.discT[t] = lt, vt, dt
 	}
+
+	// Region 3: redo the Λ delay DP per flagged destination. Each task
+	// writes only its destination's subtotal slots; the final sums below
+	// stay serial and destination-ascending.
+	s.lamRun = u.lamDests
+	s.runRegion(regionLambda, len(s.lamRun))
+	s.endPar()
 
 	var lambda float64
 	violations, disconnected := 0, 0
@@ -631,8 +709,7 @@ func (s *Session) SetLinkState(li int, up bool) Result {
 	}
 	s.recycleUndo()
 	s.canRevert = false
-	u := &s.undo
-	u.noop = false
+	s.undo.noop = false
 
 	// A link whose endpoint node is down is dead either way: flipping its
 	// own bit changes nothing observable.
@@ -644,10 +721,16 @@ func (s *Session) SetLinkState(li int, up bool) Result {
 		}
 		return s.res
 	}
+	return s.applyLinkFlip(li, up)
+}
 
-	// Classify against the pre-flip snapshots, then commit the flip; the
-	// recompute routes the affected destinations under the new mask.
-	n := g.NumNodes()
+// applyLinkFlip is the shared evaluation tail of SetLinkState and a
+// single-flip SetLinkStates batch: classify against the pre-flip
+// snapshots, commit the flip, recompute. The caller has already cleared
+// the undo state and ruled out no-ops and dead-endpoint flips.
+func (s *Session) applyLinkFlip(li int, up bool) Result {
+	u := &s.undo
+	n := s.e.g.NumNodes()
 	s.affD, s.dagD = s.affD[:0], s.dagD[:0]
 	s.affT, s.dagT = s.affT[:0], s.dagT[:0]
 	for t := 0; t < n; t++ {
@@ -770,28 +853,6 @@ func (s *Session) assemble(lambda, phi float64, violations, disconnected int, ma
 	return res
 }
 
-// markChanged records every link whose contribution term differs between
-// the old and new vectors, deduplicated across calls via an epoch mark.
-func (s *Session) markChanged(old, cur []float64) {
-	for li := range old {
-		if old[li] != cur[li] && s.linkMark[li] != s.markEpoch {
-			s.linkMark[li] = s.markEpoch
-			s.chgLinks = append(s.chgLinks, li)
-		}
-	}
-}
-
-// markChangedLinks is markChanged restricted to a candidate link list
-// (the only places a contribution can differ).
-func (s *Session) markChangedLinks(links []int32, old, cur []float64) {
-	for _, li := range links {
-		if old[li] != cur[li] && s.linkMark[li] != s.markEpoch {
-			s.linkMark[li] = s.markEpoch
-			s.chgLinks = append(s.chgLinks, int(li))
-		}
-	}
-}
-
 // recycleUndo returns the previous Apply's stashed buffers (now committed)
 // to the free lists.
 func (s *Session) recycleUndo() {
@@ -889,33 +950,15 @@ func (s *Session) classifyThroughput(t, li int, oldW, newW int32) int {
 	}
 }
 
-// refreshDelayDest rebuilds destination t's delay DAG and load
-// contribution off the workspace's current SPF state (fresh Run or
-// restored snapshot), stashing the old contribution for Revert. Load
-// changes are confined to the union of the old and new DAGs (shares are
-// only ever written to DAG links), so only those links are compared.
-func (s *Session) refreshDelayDest(t int, dem *traffic.Matrix, u *undoState) {
-	dc := &s.dDest[t]
-	oldDag := u.oldDDest[len(u.oldDDest)-1].dagLinks
-	s.buildDAG(dc)
-	old := s.dContrib[t]
-	nc := s.newContrib()
-	demandColumn(dem, t, s.skipNode, s.demCol)
-	s.accumulateDelayLoads(dc, s.demCol, nc)
-	s.dContrib[t] = nc
-	u.oldDContrib = append(u.oldDContrib, old)
-	s.markChangedLinks(oldDag, old, nc)
-	s.markChangedLinks(dc.dagLinks, old, nc)
-}
-
 // accumulateDelayLoads is spf's AccumulateLoadsInto over the cached DAG
 // adjacency: the same seeds, node order, pull sums and share writes (the
 // cached lists reproduce the out-link visit order exactly), minus the
-// per-link membership recomputation.
-func (s *Session) accumulateDelayLoads(dc *delayDest, dem, contrib []float64) float64 {
+// per-link membership recomputation. flow is the caller's (worker's)
+// node-flow scratch.
+func (s *Session) accumulateDelayLoads(dc *delayDest, dem, flow, contrib []float64) float64 {
 	g := s.e.g
 	clear(contrib)
-	clear(s.flow)
+	clear(flow)
 	var dropped float64
 	dist := dc.state.Dist
 	dest := dc.state.Dest
@@ -927,12 +970,12 @@ func (s *Session) accumulateDelayLoads(dc *delayDest, dem, contrib []float64) fl
 			dropped += d
 			continue
 		}
-		s.flow[v] = d
+		flow[v] = d
 	}
 	order := dc.state.Order
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
-		f := s.flow[v]
+		f := flow[v]
 		for _, li := range g.InLinks(int(v)) {
 			f += contrib[li]
 		}
@@ -949,20 +992,6 @@ func (s *Session) accumulateDelayLoads(dc *delayDest, dem, contrib []float64) fl
 		}
 	}
 	return dropped
-}
-
-// refreshThroughputDest is refreshDelayDest for the throughput class
-// (no DAG cache, but a dropped-demand term).
-func (s *Session) refreshThroughputDest(t int, dem *traffic.Matrix, u *undoState) {
-	old := s.tContrib[t]
-	nc := s.newContrib()
-	demandColumn(dem, t, s.skipNode, s.demCol)
-	d := s.ws.AccumulateLoadsInto(s.e.g, s.w.Throughput, s.demCol, s.mask, nc)
-	s.tContrib[t] = nc
-	u.oldTContrib = append(u.oldTContrib, old)
-	u.oldTDropped = append(u.oldTDropped, s.tDropped[t])
-	s.tDropped[t] = d
-	s.markChanged(old, nc)
 }
 
 // buildDAG materializes the delay-class ECMP DAG out-adjacency for a
@@ -993,11 +1022,11 @@ func (s *Session) buildDAG(dc *delayDest) {
 // destLambdaCached is destLambda over the destination's materialized DAG:
 // the same dynamic program as spf's WorstDelays/MeanDelays (identical
 // per-node visit order and arithmetic, hence identical bits), minus the
-// per-out-link membership recomputation.
-func (s *Session) destLambdaCached(dc *delayDest) (lambda float64, violations, disconnected int) {
+// per-out-link membership recomputation. out is the caller's (worker's)
+// per-node delay scratch.
+func (s *Session) destLambdaCached(dc *delayDest, out []float64) (lambda float64, violations, disconnected int) {
 	e := s.e
 	worst := e.metric == WorstPath
-	out := s.delays
 	for i := range out {
 		out[i] = spf.InfDelay
 	}

@@ -10,18 +10,21 @@ import (
 
 // driveSoak subjects one session to a long randomized stream of mixed
 // events — weight moves (half immediately reverted), link-down/link-up
-// toggles, and occasional full rebases — asserting bit-identical
+// toggles, batched multi-link events (with duplicate and restating
+// entries), and occasional full rebases — asserting bit-identical
 // equality with the stateless evaluator after every single step. With
 // the Ramalingam–Reps repair wired into the session, this is the
 // endurance version of the repair equivalence tests: weight repairs,
-// toggle repairs, membership-only fast paths, Revert's snapshot
-// restoration and Init's from-scratch fallback all interleave on the
-// same caches for the whole run.
-func driveSoak(t *testing.T, ev *Evaluator, steps int, seed int64) {
+// toggle repairs, batch repairs, membership-only fast paths, Revert's
+// snapshot restoration and Init's from-scratch fallback all interleave
+// on the same caches for the whole run. workers sets the session's
+// recompute parallelism (1 = serial).
+func driveSoak(t *testing.T, ev *Evaluator, steps int, seed int64, workers int) {
 	t.Helper()
 	g := ev.Graph()
 	m := g.NumLinks()
 	s := ev.NewSession(graph.NewMask(g), -1)
+	s.SetParallelism(workers)
 	ref := graph.NewMask(g)
 	rng := rand.New(rand.NewSource(seed))
 	w := RandomWeightSetting(m, 20, rng)
@@ -38,7 +41,7 @@ func driveSoak(t *testing.T, ev *Evaluator, steps int, seed int64) {
 	down := make([]bool, m)
 	for i := 0; i < steps; i++ {
 		switch r := rng.Float64(); {
-		case r < 0.45:
+		case r < 0.35:
 			li := rng.Intn(m)
 			down[li] = !down[li]
 			if down[li] {
@@ -48,6 +51,24 @@ func driveSoak(t *testing.T, ev *Evaluator, steps int, seed int64) {
 			}
 			s.SetLinkState(li, !down[li])
 			check("toggle")
+		case r < 0.5:
+			// Batched multi-link event: random targets, so entries may
+			// restate the current state or repeat a link (last wins).
+			k := 1 + rng.Intn(8)
+			chg := make([]LinkStateChange, 0, k)
+			for j := 0; j < k; j++ {
+				li := rng.Intn(m)
+				up := rng.Intn(2) == 0
+				down[li] = !up
+				if up {
+					ref.ReviveLink(li)
+				} else {
+					ref.FailLink(li)
+				}
+				chg = append(chg, LinkStateChange{Link: li, Up: up})
+			}
+			s.SetLinkStates(chg)
+			check("batch")
 		case r < 0.95:
 			l := rng.Intn(m)
 			wd := int32(1 + rng.Intn(20))
@@ -70,7 +91,7 @@ func driveSoak(t *testing.T, ev *Evaluator, steps int, seed int64) {
 
 func TestSessionSoakRand8(t *testing.T) {
 	ev := sessionTestEvaluator(t, topogen.RandKind, 8, 40, 31)
-	driveSoak(t, ev, 600, 131)
+	driveSoak(t, ev, 600, 131, 1)
 }
 
 func TestSessionSoakISP16(t *testing.T) {
@@ -79,7 +100,7 @@ func TestSessionSoakISP16(t *testing.T) {
 		steps = 80
 	}
 	ev := sessionTestEvaluator(t, topogen.ISPKind, 0, 0, 32)
-	driveSoak(t, ev, steps, 132)
+	driveSoak(t, ev, steps, 132, 3)
 }
 
 func TestSessionSoakRandTopo100(t *testing.T) {
@@ -88,5 +109,5 @@ func TestSessionSoakRandTopo100(t *testing.T) {
 		steps = 20
 	}
 	ev := sessionTestEvaluator(t, topogen.RandKind, 100, 500, 33)
-	driveSoak(t, ev, steps, 133)
+	driveSoak(t, ev, steps, 133, 4)
 }

@@ -9,7 +9,9 @@ type metrics struct {
 	repairIncrease *obsv.Counter
 	repairDecrease *obsv.Counter
 	repairNoop     *obsv.Counter
+	repairBatch    *obsv.Counter
 	changedNodes   *obsv.Histogram
+	batchLinks     *obsv.Histogram
 }
 
 var met = obsv.NewView(func(r *obsv.Registry) *metrics {
@@ -22,7 +24,11 @@ var met = obsv.NewView(func(r *obsv.Registry) *metrics {
 			"Incremental SPF repairs by path taken.", obsv.L("path", "decrease")),
 		repairNoop: r.Counter("spf_repairs_total",
 			"Incremental SPF repairs by path taken.", obsv.L("path", "noop")),
+		repairBatch: r.Counter("spf_repairs_total",
+			"Incremental SPF repairs by path taken.", obsv.L("path", "batch")),
 		changedNodes: r.Histogram("spf_repair_changed_nodes",
 			"Nodes whose distance changed per effective repair.", obsv.SizeBuckets),
+		batchLinks: r.Histogram("spf_repair_batch_links",
+			"Effective link changes per multi-link batch repair.", obsv.SizeBuckets),
 	}
 })

@@ -53,6 +53,14 @@ type Workspace struct {
 	affList   []int32 // affected set of the current increase repair
 	chgSorted []int32 // changed nodes, ascending by new distance
 	order2    []int32 // scratch for the merged settled order
+
+	// Batch-repair scratch (see batch.go): per-link epoch marks giving
+	// O(1) mid-state effective weights during the increase phase of a
+	// multi-link repair.
+	batchOld     []int64 // old effective weight of a decreased link
+	batchOldMark []int32 // this epoch: batchOld[li] overrides w[li]
+	batchUpMark  []int32 // this epoch: link newly up (dead at the mid state)
+	batchEpoch   int32
 }
 
 // NewWorkspace returns a Workspace sized for g.
@@ -83,6 +91,10 @@ func NewWorkspace(g *graph.Graph) *Workspace {
 		affList:   make([]int32, 0, n),
 		chgSorted: make([]int32, 0, n),
 		order2:    make([]int32, 0, n),
+
+		batchOld:     make([]int64, g.NumLinks()),
+		batchOldMark: make([]int32, g.NumLinks()),
+		batchUpMark:  make([]int32, g.NumLinks()),
 	}
 }
 

@@ -32,6 +32,12 @@ const (
 	PLKind
 	// ISPKind is the fixed North American backbone ("ISP").
 	ISPKind
+	// HierKind is a synthetic hierarchical ISP: a meshed core ring, PoPs
+	// dual-homed onto their nearest core nodes, and access nodes
+	// dual-homed onto their nearest PoPs, with capacities stepping down
+	// tier by tier ("HierISP"). The shape that makes 1000-node networks
+	// realistic rather than uniformly random.
+	HierKind
 )
 
 // String returns the paper's name for the topology family.
@@ -45,6 +51,8 @@ func (k Kind) String() string {
 		return "PLTopo"
 	case ISPKind:
 		return "ISP"
+	case HierKind:
+		return "HierISP"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -57,7 +65,8 @@ type Spec struct {
 	Nodes int
 	// DirectedLinks is the target number of directed links; must be even
 	// since every physical edge contributes both directions (ignored for
-	// ISPKind and PLKind — the latter derives its count from EdgesPerNode).
+	// ISPKind, PLKind and HierKind — PLKind derives its count from
+	// EdgesPerNode, HierKind from its tier structure).
 	DirectedLinks int
 	// EdgesPerNode is the attachment count m of the Barabási–Albert
 	// process (PLKind only). The resulting graph has m·(Nodes−m) physical
@@ -90,6 +99,8 @@ func Generate(spec Spec, rng *rand.Rand) (*graph.Graph, error) {
 		return nearTopo(spec.Nodes, spec.DirectedLinks, capacity, diameter, rng)
 	case PLKind:
 		return plTopo(spec.Nodes, spec.EdgesPerNode, capacity, diameter, rng)
+	case HierKind:
+		return hierTopo(spec.Nodes, capacity, diameter, rng)
 	default:
 		return nil, fmt.Errorf("topogen: unknown kind %v", spec.Kind)
 	}
@@ -371,17 +382,28 @@ func allChosenWithDegree(degree []int, chosen []bool, limit int) bool {
 	return true
 }
 
+// capEdge is one undirected edge with its own capacity, the currency of
+// assembleEdges; the uniform-capacity generators go through assemble.
+type capEdge struct {
+	u, v     int
+	d        float64
+	capacity float64
+}
+
 // assemble turns an undirected edge set into a bidirectional graph with
-// distance-derived, diameter-scaled propagation delays.
+// distance-derived, diameter-scaled propagation delays and one shared
+// capacity.
 func assemble(n int, coords []graph.Coord, have map[[2]int]bool, capacity, diameter float64) (*graph.Graph, error) {
-	type edge struct {
-		u, v int
-		d    float64
-	}
-	edges := make([]edge, 0, len(have))
+	edges := make([]capEdge, 0, len(have))
 	for p := range have {
-		edges = append(edges, edge{p[0], p[1], dist(coords[p[0]], coords[p[1]])})
+		edges = append(edges, capEdge{p[0], p[1], dist(coords[p[0]], coords[p[1]]), capacity})
 	}
+	return assembleEdges(n, coords, edges, diameter)
+}
+
+// assembleEdges is the shared finishing pass: deterministic link order,
+// diameter scaling, build, connectivity check.
+func assembleEdges(n int, coords []graph.Coord, edges []capEdge, diameter float64) (*graph.Graph, error) {
 	// Map order is random; sort for deterministic link indices per seed.
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].u != edges[j].u {
@@ -392,7 +414,7 @@ func assemble(n int, coords []graph.Coord, have map[[2]int]bool, capacity, diame
 
 	scale := 1.0
 	if diameter > 0 {
-		raw := propDiameter(n, edges, func(e edge) (int, int, float64) { return e.u, e.v, e.d })
+		raw := propDiameter(n, edges, func(e capEdge) (int, int, float64) { return e.u, e.v, e.d })
 		if raw > 0 {
 			scale = diameter / raw
 		}
@@ -406,7 +428,7 @@ func assemble(n int, coords []graph.Coord, have map[[2]int]bool, capacity, diame
 		if d <= 0 {
 			d = 1e-3 // coincident points: keep delays positive
 		}
-		b.AddEdge(e.u, e.v, capacity, d)
+		b.AddEdge(e.u, e.v, e.capacity, d)
 	}
 	g, err := b.Build()
 	if err != nil {
@@ -418,48 +440,185 @@ func assemble(n int, coords []graph.Coord, have map[[2]int]bool, capacity, diame
 	return g, nil
 }
 
+// hierTopo builds the hierarchical ISP: ~5% of the nodes form the core
+// (an angular ring with skip-2 chords, so the backbone survives any
+// single failure), ~15% are PoPs dual-homed onto their two nearest core
+// nodes, and the rest are access nodes dual-homed onto their two
+// nearest PoPs. Capacities step down 4×/2×/1× from core to access.
+// Every node has degree ≥ 2 and the graph is strongly connected by
+// construction. The directed link count is derived from the tier
+// structure (≈ 2·(2·nCore + 2·nPoP + 2·nAccess)).
+func hierTopo(n int, capacity, diameter float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 8 {
+		return nil, fmt.Errorf("topogen: hierarchical topology needs at least 8 nodes, got %d", n)
+	}
+	coords := randomCoords(n, rng)
+	nCore := n / 20
+	if nCore < 4 {
+		nCore = 4
+	}
+	nPop := n * 3 / 20
+	if nPop < nCore {
+		nPop = nCore
+	}
+	if nCore+nPop >= n {
+		nPop = (n - nCore + 1) / 2 // tiny n: split the remainder
+	}
+
+	caps := make(map[[2]int]float64)
+	addEdge := func(u, v int, c float64) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if caps[[2]int{u, v}] < c {
+			caps[[2]int{u, v}] = c
+		}
+	}
+
+	// Core backbone: ring in angular order around the core centroid plus
+	// skip-2 chords (deduplicated when nCore == 4 collapses them).
+	var cx, cy float64
+	for i := 0; i < nCore; i++ {
+		cx += coords[i].X
+		cy += coords[i].Y
+	}
+	cx /= float64(nCore)
+	cy /= float64(nCore)
+	ring := make([]int, nCore)
+	for i := range ring {
+		ring[i] = i
+	}
+	sort.Slice(ring, func(a, b int) bool {
+		aa := math.Atan2(coords[ring[a]].Y-cy, coords[ring[a]].X-cx)
+		ab := math.Atan2(coords[ring[b]].Y-cy, coords[ring[b]].X-cx)
+		if aa != ab {
+			return aa < ab
+		}
+		return ring[a] < ring[b]
+	})
+	coreCap, popCap := 4*capacity, 2*capacity
+	for i := 0; i < nCore; i++ {
+		addEdge(ring[i], ring[(i+1)%nCore], coreCap)
+		addEdge(ring[i], ring[(i+2)%nCore], coreCap)
+	}
+
+	// PoPs dual-home onto their two nearest core nodes, access nodes
+	// onto their two nearest PoPs.
+	for p := nCore; p < nCore+nPop; p++ {
+		a, b := twoNearest(coords, p, 0, nCore)
+		addEdge(p, a, popCap)
+		addEdge(p, b, popCap)
+	}
+	for v := nCore + nPop; v < n; v++ {
+		a, b := twoNearest(coords, v, nCore, nCore+nPop)
+		addEdge(v, a, capacity)
+		addEdge(v, b, capacity)
+	}
+
+	edges := make([]capEdge, 0, len(caps))
+	for p, c := range caps {
+		edges = append(edges, capEdge{p[0], p[1], dist(coords[p[0]], coords[p[1]]), c})
+	}
+	return assembleEdges(n, coords, edges, diameter)
+}
+
+// twoNearest returns the two nodes of [lo, hi) closest to node v (the
+// same node twice when the range holds only one candidate).
+func twoNearest(coords []graph.Coord, v, lo, hi int) (int, int) {
+	a, b := -1, -1
+	da, db := math.Inf(1), math.Inf(1)
+	for u := lo; u < hi; u++ {
+		if u == v {
+			continue
+		}
+		switch d := dist(coords[v], coords[u]); {
+		case d < da:
+			b, db = a, da
+			a, da = u, d
+		case d < db:
+			b, db = u, d
+		}
+	}
+	if b < 0 {
+		b = a
+	}
+	return a, b
+}
+
 // propDiameter computes the largest over all pairs of the shortest
-// propagation delay, with a dense float Dijkstra (the graphs here are
-// small and this runs once per generation).
+// propagation delay: one heap-based float Dijkstra per source, O(n·(n+m)·log n)
+// overall, which keeps 1000-node generation instant (the former dense
+// selection was O(n³) — minutes at that size).
 func propDiameter[E any](n int, edges []E, get func(E) (int, int, float64)) float64 {
-	adj := make([][]struct {
+	type arc struct {
 		to int
 		d  float64
-	}, n)
+	}
+	adj := make([][]arc, n)
 	for _, e := range edges {
 		u, v, d := get(e)
-		adj[u] = append(adj[u], struct {
-			to int
-			d  float64
-		}{v, d})
-		adj[v] = append(adj[v], struct {
-			to int
-			d  float64
-		}{u, d})
+		adj[u] = append(adj[u], arc{v, d})
+		adj[v] = append(adj[v], arc{u, d})
+	}
+	type item struct {
+		d float64
+		v int
 	}
 	var diameter float64
 	distTo := make([]float64, n)
-	done := make([]bool, n)
+	heap := make([]item, 0, n)
+	push := func(it item) {
+		heap = append(heap, it)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < last && heap[l].d < heap[small].d {
+				small = l
+			}
+			if r < last && heap[r].d < heap[small].d {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
 	for src := 0; src < n; src++ {
 		for i := range distTo {
 			distTo[i] = math.Inf(1)
-			done[i] = false
 		}
 		distTo[src] = 0
-		for {
-			u, best := -1, math.Inf(1)
-			for v := 0; v < n; v++ {
-				if !done[v] && distTo[v] < best {
-					u, best = v, distTo[v]
-				}
+		heap = heap[:0]
+		push(item{0, src})
+		for len(heap) > 0 {
+			it := pop()
+			if it.d != distTo[it.v] {
+				continue // stale entry
 			}
-			if u < 0 {
-				break
-			}
-			done[u] = true
-			for _, e := range adj[u] {
-				if nd := best + e.d; nd < distTo[e.to] {
+			for _, e := range adj[it.v] {
+				if nd := it.d + e.d; nd < distTo[e.to] {
 					distTo[e.to] = nd
+					push(item{nd, e.to})
 				}
 			}
 		}

@@ -225,8 +225,88 @@ func TestDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestHierTopoShape(t *testing.T) {
+	g := MustGenerate(Spec{Kind: HierKind, Nodes: 200}, rand.New(rand.NewSource(1)))
+	if g.NumNodes() != 200 {
+		t.Fatalf("got %d nodes, want 200", g.NumNodes())
+	}
+	if !g.IsStronglyConnected(nil) {
+		t.Fatal("HierISP must be connected")
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.OutDegree(v) < 2 {
+			t.Fatalf("node %d has degree %d, want >= 2", v, g.OutDegree(v))
+		}
+	}
+	// The three capacity tiers (4×/2×/1× of the 500 default) must all be
+	// present.
+	seen := map[float64]bool{}
+	for _, l := range g.Links() {
+		seen[l.Capacity] = true
+	}
+	for _, c := range []float64{2000, 1000, 500} {
+		if !seen[c] {
+			t.Errorf("capacity tier %g missing; saw %v", c, seen)
+		}
+	}
+	// Access nodes (the 80% tail) must carry only access-tier capacity.
+	nCore, nPop := 200/20, 200*3/20
+	for _, l := range g.Links() {
+		if int(l.From) >= nCore+nPop && int(l.To) >= nCore+nPop {
+			t.Fatalf("access-access link %d-%d should not exist", l.From, l.To)
+		}
+	}
+}
+
+func TestHierTopoDeterministic(t *testing.T) {
+	a := MustGenerate(Spec{Kind: HierKind, Nodes: 120}, rand.New(rand.NewSource(7)))
+	b := MustGenerate(Spec{Kind: HierKind, Nodes: 120}, rand.New(rand.NewSource(7)))
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.Links() {
+		if a.Link(i) != b.Link(i) {
+			t.Fatalf("same seed produced different link %d", i)
+		}
+	}
+}
+
+func TestHierTopoTiny(t *testing.T) {
+	g := MustGenerate(Spec{Kind: HierKind, Nodes: 8}, rand.New(rand.NewSource(2)))
+	if !g.IsStronglyConnected(nil) {
+		t.Fatal("8-node HierISP must be connected")
+	}
+	if _, err := Generate(Spec{Kind: HierKind, Nodes: 7}, rand.New(rand.NewSource(2))); err == nil {
+		t.Fatal("7-node HierISP should be rejected")
+	}
+}
+
+func TestThousandNodeTopos(t *testing.T) {
+	// The 1000-node size axis: generation must stay fast (the diameter
+	// pass is heap-based, not O(n³)) and the results well formed.
+	g := MustGenerate(Spec{Kind: RandKind, Nodes: 1000, DirectedLinks: 5000}, rand.New(rand.NewSource(3)))
+	if g.NumNodes() != 1000 || g.NumLinks() != 5000 {
+		t.Fatalf("RandTopo: got [%d,%d], want [1000,5000]", g.NumNodes(), g.NumLinks())
+	}
+	if !g.IsStronglyConnected(nil) {
+		t.Fatal("1000-node RandTopo must be connected")
+	}
+	h := MustGenerate(Spec{Kind: HierKind, Nodes: 1000}, rand.New(rand.NewSource(3)))
+	if h.NumNodes() != 1000 {
+		t.Fatalf("HierISP: got %d nodes, want 1000", h.NumNodes())
+	}
+	if !h.IsStronglyConnected(nil) {
+		t.Fatal("1000-node HierISP must be connected")
+	}
+	for v := 0; v < h.NumNodes(); v++ {
+		if h.OutDegree(v) < 2 {
+			t.Fatalf("HierISP node %d has degree %d, want >= 2", v, h.OutDegree(v))
+		}
+	}
+}
+
 func TestKindString(t *testing.T) {
-	names := map[Kind]string{RandKind: "RandTopo", NearKind: "NearTopo", PLKind: "PLTopo", ISPKind: "ISP"}
+	names := map[Kind]string{RandKind: "RandTopo", NearKind: "NearTopo", PLKind: "PLTopo", ISPKind: "ISP", HierKind: "HierISP"}
 	for k, want := range names {
 		if k.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)

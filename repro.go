@@ -18,7 +18,9 @@ import (
 // level and SLA bound. Exactly one of AvgUtil/MaxUtil may be positive;
 // zero values fall back to the paper's defaults.
 type NetworkSpec struct {
-	// Topology selects the family: "rand", "near", "pl" or "isp".
+	// Topology selects the family: "rand", "near", "pl", "isp" or
+	// "hier" (hierarchical core/PoP/access ISP, sized for 100s-1000s of
+	// nodes).
 	Topology string
 	// Nodes and Links size synthetic topologies ("isp" is fixed at
 	// 16/70). Links counts directed links and must be even.
@@ -66,8 +68,10 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 		kind = topogen.PLKind
 	case "isp":
 		kind = topogen.ISPKind
+	case "hier":
+		kind = topogen.HierKind
 	default:
-		return nil, fmt.Errorf("repro: unknown topology %q (rand|near|pl|isp)", spec.Topology)
+		return nil, fmt.Errorf("repro: unknown topology %q (rand|near|pl|isp|hier)", spec.Topology)
 	}
 	edgesPerNode := spec.EdgesPerNode
 	if edgesPerNode == 0 {
@@ -320,6 +324,12 @@ type OptimizeOptions struct {
 	// to from-scratch sweeps with bit-identical results. 0 keeps the
 	// 1 GiB default (opt.DefaultSessionBudgetBytes).
 	SessionMemoryBudgetBytes int64
+	// Workers is the per-session recompute worker budget of the search's
+	// incremental sessions (opt.Config.Parallelism); 0 or 1 keep the
+	// recompute serial. Results are bit-identical at every setting —
+	// workers trade only wall-clock time, which pays off on large
+	// (hundreds to 1000+ node) topologies.
+	Workers int
 	// Seed drives the search.
 	Seed int64
 }
@@ -394,6 +404,7 @@ func (n *Network) Optimize(opts OptimizeOptions) (*OptimizeResult, error) {
 	}
 	cfg.Seed = opts.Seed
 	cfg.SessionBudgetBytes = opts.SessionMemoryBudgetBytes
+	cfg.Parallelism = opts.Workers
 	frac := opts.CriticalFraction
 	if frac == 0 {
 		frac = cfg.TargetCriticalFrac

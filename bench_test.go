@@ -694,3 +694,23 @@ func BenchmarkSelectorAdviseObsv(b *testing.B) {
 	defer obsv.SetDefault(nil)
 	benchSelectorAdvise(b)
 }
+
+// The Spans twins additionally enable the span recorder, so their delta
+// against the base benchmark is the full tracing cost (metrics + span
+// ring). Same 5% pair gate as the Obsv twins.
+
+func BenchmarkPhase1Incremental100Spans(b *testing.B) {
+	reg := obsv.NewRegistry()
+	reg.EnableSpans(obsv.DefaultSpanCapacity)
+	obsv.SetDefault(reg)
+	defer obsv.SetDefault(nil)
+	benchPhase1(b, topogen.Spec{Kind: topogen.RandKind, Nodes: 100, DirectedLinks: 500}, false)
+}
+
+func BenchmarkSelectorAdviseSpans(b *testing.B) {
+	reg := obsv.NewRegistry()
+	reg.EnableSpans(obsv.DefaultSpanCapacity)
+	obsv.SetDefault(reg)
+	defer obsv.SetDefault(nil)
+	benchSelectorAdvise(b)
+}

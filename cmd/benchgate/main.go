@@ -198,10 +198,16 @@ func compare(base, cur Record, warn, fail float64) Comparison {
 	return c
 }
 
+// benchPair is one base=instrumented twin from an "-pairs" spec.
+type benchPair struct {
+	base, instr string
+}
+
 // parsePairs reads an "-pairs" spec: comma-separated base=instrumented
-// benchmark name pairs.
-func parsePairs(spec string) (map[string]string, error) {
-	pairs := make(map[string]string)
+// benchmark name pairs. The same base may appear in several pairs
+// (e.g. a metrics-only twin and a metrics+spans twin).
+func parsePairs(spec string) ([]benchPair, error) {
+	var pairs []benchPair
 	for _, p := range strings.Split(spec, ",") {
 		p = strings.TrimSpace(p)
 		if p == "" {
@@ -211,7 +217,7 @@ func parsePairs(spec string) (map[string]string, error) {
 		if !ok || base == "" || instr == "" {
 			return nil, fmt.Errorf("benchgate: bad pair %q (want base=instrumented)", p)
 		}
-		pairs[base] = instr
+		pairs = append(pairs, benchPair{base: base, instr: instr})
 	}
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("benchgate: -pairs is empty")
@@ -225,7 +231,7 @@ func parsePairs(spec string) (map[string]string, error) {
 // base. Both twins run in the same process on the same hardware, so
 // unlike compare there is no cross-machine skew to forgive — a missing
 // benchmark or an over-budget delta fails the gate.
-func overheadGate(rec Record, pairs map[string]string, fail float64) Comparison {
+func overheadGate(rec Record, pairs []benchPair, fail float64) Comparison {
 	var c Comparison
 	idx := make(map[string]Benchmark, len(rec.Benchmarks))
 	for _, b := range rec.Benchmarks {
@@ -234,23 +240,24 @@ func overheadGate(rec Record, pairs map[string]string, fail float64) Comparison 
 	row := func(format string, args ...any) {
 		c.Lines = append(c.Lines, fmt.Sprintf(format, args...))
 	}
-	row("%-44s %14s %14s %9s  %s", "pair (base vs instrumented)", "base ns/op", "instr ns/op", "overhead", "status")
-	bases := make([]string, 0, len(pairs))
-	for base := range pairs {
-		bases = append(bases, base)
-	}
-	sort.Strings(bases)
-	for _, base := range bases {
-		instr := pairs[base]
-		bb, okB := idx[base]
-		ib, okI := idx[instr]
+	row("%-44s %14s %14s %9s  %s", "pair (instrumented vs base)", "base ns/op", "instr ns/op", "overhead", "status")
+	sorted := append([]benchPair(nil), pairs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].base != sorted[j].base {
+			return sorted[i].base < sorted[j].base
+		}
+		return sorted[i].instr < sorted[j].instr
+	})
+	for _, p := range sorted {
+		bb, okB := idx[p.base]
+		ib, okI := idx[p.instr]
 		if !okB || !okI {
-			missing := base
+			missing := p.base
 			if okB {
-				missing = instr
+				missing = p.instr
 			}
 			c.Failed = true
-			row("%-44s %14s %14s %9s  FAIL: %s missing from record", base, "-", "-", "-", missing)
+			row("%-44s %14s %14s %9s  FAIL: %s missing from record", p.instr, "-", "-", "-", missing)
 			continue
 		}
 		delta := ib.NsPerOp/bb.NsPerOp - 1
@@ -259,7 +266,7 @@ func overheadGate(rec Record, pairs map[string]string, fail float64) Comparison 
 			status = fmt.Sprintf("FAIL: overhead ≥ %.0f%%", fail*100)
 			c.Failed = true
 		}
-		row("%-44s %14.0f %14.0f %+8.1f%%  %s", base, bb.NsPerOp, ib.NsPerOp, delta*100, status)
+		row("%-44s %14.0f %14.0f %+8.1f%%  %s", p.instr, bb.NsPerOp, ib.NsPerOp, delta*100, status)
 	}
 	if c.Failed {
 		c.Lines = append(c.Lines, "benchgate: FAIL (instrumentation overhead)")

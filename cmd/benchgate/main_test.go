@@ -170,6 +170,26 @@ func TestOverheadGate(t *testing.T) {
 		t.Fatalf("2%% overhead failed a 5%% gate:\n%s", strings.Join(c.Lines, "\n"))
 	}
 
+	// One base may anchor several twins (metrics-only and metrics+spans)
+	// — every pair must be gated, not just the last parsed.
+	shared := Record{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkAObsv", NsPerOp: 1020},
+		{Name: "BenchmarkASpans", NsPerOp: 1300},
+	}}
+	pairs, err = parsePairs("BenchmarkA=BenchmarkAObsv,BenchmarkA=BenchmarkASpans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := overheadGate(shared, pairs, 0.05)
+	if !c0.Failed {
+		t.Fatalf("over-budget second twin of a shared base passed:\n%s", strings.Join(c0.Lines, "\n"))
+	}
+	out := strings.Join(c0.Lines, "\n")
+	if !strings.Contains(out, "BenchmarkAObsv") || !strings.Contains(out, "BenchmarkASpans") {
+		t.Fatalf("shared-base twins not both gated:\n%s", out)
+	}
+
 	pairs, err = parsePairs("BenchmarkA=BenchmarkAObsv,BenchmarkB=BenchmarkBObsv")
 	if err != nil {
 		t.Fatal(err)

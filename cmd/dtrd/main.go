@@ -17,12 +17,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -51,11 +54,19 @@ func main() {
 	listen := flag.String("listen", "", "HTTP listen address (e.g. :8484); empty with -replay exits after the replay")
 	replay := flag.Bool("replay", false, "replay the scenario day as telemetry before serving")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	spanCap := flag.Int("span-cap", obsv.DefaultSpanCapacity, "span ring capacity (/debug/spans, /debug/trace.chrome); 0 disables span tracing")
+	traceCap := flag.Int("trace-cap", 512, "decision-trace ring capacity (/debug/trace)")
+	flightLatency := flag.Duration("flightrec-latency", obsv.DefaultFlightLatency, "flight-recorder latency threshold: observe fan-outs slower than this capture a full span dump (/debug/flightrec); 0 disables latency capture")
 	flag.Parse()
 
 	// Install the daemon registry before any engine object exists so the
 	// library build, replay and serving all record into it.
 	reg := obsv.NewRegistry()
+	if *spanCap > 0 {
+		reg.EnableSpans(*spanCap)
+	}
+	reg.Trace().Resize(*traceCap)
+	reg.Flight().SetLatencyThreshold(*flightLatency)
 	obsv.SetDefault(reg)
 
 	net, err := repro.NewNetwork(repro.NetworkSpec{
@@ -150,10 +161,37 @@ func main() {
 	}
 	srv := newServer(net, lib, ctrl, reg)
 	srv.enablePprof = *pprofFlag
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections and
+	// drains in-flight requests (bounded) before exiting.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		fmt.Printf("dtrd: %s received, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "dtrd: shutdown:", err)
+		}
+		close(idle)
+	}()
+
 	fmt.Printf("dtrd: listening on %s\n", *listen)
-	if err := http.ListenAndServe(*listen, srv.mux()); err != nil {
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
+	<-idle
+	fmt.Println("dtrd: bye")
 }
 
 // replayDay drives the controller through every episode of the day:

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/obsv"
+)
+
+// readmeMetricRow matches a metrics-table row: a backticked family name
+// (with an optional {label=...} annotation) followed by a kind column.
+var readmeMetricRow = regexp.MustCompile("^`([a-zA-Z0-9_]+)(\\{.*\\})?`$")
+
+// readmeMetricFamilies parses the README's "Every exported metric"
+// table and returns the family names it documents.
+func readmeMetricFamilies(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		// Label annotations contain escaped pipes (`\|`); neutralize them
+		// before splitting the row into cells.
+		cells := strings.Split(strings.ReplaceAll(line, `\|`, "\x00"), "|")
+		if len(cells) < 4 {
+			continue
+		}
+		name := strings.TrimSpace(strings.ReplaceAll(cells[1], "\x00", `\|`))
+		kind := strings.TrimSpace(cells[2])
+		if kind != "counter" && kind != "gauge" && kind != "histogram" {
+			continue
+		}
+		m := readmeMetricRow.FindStringSubmatch(name)
+		if m == nil {
+			t.Fatalf("metrics table row with unparseable name cell %q", name)
+		}
+		if families[m[1]] {
+			t.Fatalf("metric family %q documented twice", m[1])
+		}
+		families[m[1]] = true
+	}
+	if len(families) == 0 {
+		t.Fatal("found no metric rows in README.md")
+	}
+	return families
+}
+
+// TestReadmeMetricsTableMatchesRegistry drives a workload that builds
+// every package's metric view — the library build covers spf, routing,
+// opt and scenario; observe/advise cover ctrl; the scrape covers the
+// daemon's own families and the Go runtime ones — then checks the
+// README metric table and the live registry document exactly the same
+// family set, in both directions.
+func TestReadmeMetricsTableMatchesRegistry(t *testing.T) {
+	documented := readmeMetricFamilies(t)
+
+	ts, _ := testServer(t)
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 3}, nil); code != 200 {
+		t.Fatalf("observe returned %d", code)
+	}
+	getJSON(t, ts.URL+"/advise", new(map[string]any))
+
+	var snap obsv.Snapshot
+	getJSON(t, ts.URL+"/metrics.json", &snap)
+	registered := make(map[string]bool, len(snap.Metrics))
+	for _, m := range snap.Metrics {
+		registered[m.Name] = true
+	}
+
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("registry exports %q but the README metric table does not document it", name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("README documents %q but the registry does not export it", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro"
@@ -24,6 +25,7 @@ type server struct {
 	ctrl  *repro.Controller
 	start time.Time
 	reg   *obsv.Registry
+	rt    *obsv.RuntimeMetrics
 
 	applied *obsv.Counter
 
@@ -44,6 +46,7 @@ func newServer(net *repro.Network, lib *repro.Library, ctrl *repro.Controller, r
 		ctrl:  ctrl,
 		start: time.Now(),
 		reg:   reg,
+		rt:    obsv.NewRuntimeMetrics(reg),
 		applied: reg.Counter("dtrd_weight_changes_applied_total",
 			"Link weight rewrites applied via /apply."),
 	}
@@ -62,6 +65,9 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
 	mux.HandleFunc("GET /metrics.json", s.count(s.handleMetricsJSON))
 	mux.HandleFunc("GET /debug/trace", s.count(s.handleTrace))
+	mux.HandleFunc("GET /debug/spans", s.count(s.handleSpans))
+	mux.HandleFunc("GET /debug/flightrec", s.count(s.handleFlightRec))
+	mux.HandleFunc("GET /debug/trace.chrome", s.count(s.handleChromeTrace))
 	if s.enablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -174,10 +180,11 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, plan)
 }
 
-// refreshStateMetrics mirrors the controller's current state into the
-// registry. Registration is idempotent, so the scrape-time cost is a
-// handful of map lookups.
+// refreshStateMetrics mirrors the controller's current state and the Go
+// runtime's introspection gauges into the registry. Registration is
+// idempotent, so the scrape-time cost is a handful of map lookups.
 func (s *server) refreshStateMetrics() {
+	s.rt.Refresh()
 	st := s.ctrl.State()
 	s.reg.Gauge("dtrd_uptime_seconds", "Daemon uptime.").
 		Set(time.Since(s.start).Seconds())
@@ -215,12 +222,114 @@ func (s *server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace serves the bounded decision-trace ring (selector observe/
-// advise/plan records), oldest first.
+// advise/plan records), oldest first. ?kind= keeps only events of that
+// kind; ?since=<seq> resumes an incremental read — pass one past the
+// last seq seen, and a non-zero "dropped" reports how many events the
+// ring evicted before the read could catch up.
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	events := s.reg.Trace().Events()
+	tr := s.reg.Trace()
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q: %w", v, err))
+			return
+		}
+		since = n
+	}
+	var dropped uint64
+	if oldest := tr.OldestSeq(); oldest > since {
+		dropped = oldest - since
+	}
+	events := tr.EventsSince(since)
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		kept := events[:0]
+		for _, e := range events {
+			if e.Kind == kind {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
 	writeJSON(w, map[string]any{
-		"total":    s.reg.Trace().Total(),
+		"total":    tr.Total(),
 		"retained": len(events),
+		"dropped":  dropped,
 		"events":   events,
 	})
+}
+
+// handleSpans serves the span-recorder ring, oldest first. ?trace=
+// keeps one trace's spans; ?limit= keeps only the newest N.
+func (s *server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	rec := s.reg.Spans()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("span tracing disabled (-span-cap 0)"))
+		return
+	}
+	var spans []obsv.SpanRecord
+	if v := r.URL.Query().Get("trace"); v != "" {
+		trace, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace %q: %w", v, err))
+			return
+		}
+		spans = rec.TraceSpans(trace)
+	} else {
+		spans = rec.Spans()
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		if n < len(spans) {
+			spans = spans[len(spans)-n:]
+		}
+	}
+	writeJSON(w, map[string]any{
+		"total":    rec.Total(),
+		"capacity": rec.Capacity(),
+		"retained": len(spans),
+		"spans":    spans,
+	})
+}
+
+// handleFlightRec serves the anomaly flight recorder: complete span
+// dumps of updates that blew the latency threshold, degraded the SLA,
+// or blocked a migration plan.
+func (s *server) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	fr := s.reg.Flight()
+	records := fr.Records()
+	writeJSON(w, map[string]any{
+		"total":        fr.Total(),
+		"retained":     len(records),
+		"threshold_ns": int64(fr.LatencyThreshold()),
+		"records":      records,
+	})
+}
+
+// handleChromeTrace exports the span ring (or one trace of it, ?trace=)
+// as Chrome trace-event JSON: load it in chrome://tracing or Perfetto;
+// per-worker task spans land on their own tracks.
+func (s *server) handleChromeTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.reg.Spans()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("span tracing disabled (-span-cap 0)"))
+		return
+	}
+	var spans []obsv.SpanRecord
+	if v := r.URL.Query().Get("trace"); v != "" {
+		trace, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace %q: %w", v, err))
+			return
+		}
+		spans = rec.TraceSpans(trace)
+	} else {
+		spans = rec.Spans()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obsv.WriteChromeTrace(w, spans)
 }

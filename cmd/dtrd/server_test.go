@@ -21,6 +21,7 @@ func testServer(t *testing.T) (*httptest.Server, *repro.Library) {
 	// default, so engine-level metrics (spf, routing, ctrl) surface on
 	// its /metrics and counts never leak across tests.
 	reg := obsv.NewRegistry()
+	reg.EnableSpans(4096) // mirrors the daemon's -span-cap default
 	obsv.SetDefault(reg)
 	t.Cleanup(func() { obsv.SetDefault(nil) })
 	net, err := repro.NewNetwork(repro.NetworkSpec{Topology: "rand", Nodes: 8, Links: 32, Seed: 3})

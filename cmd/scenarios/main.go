@@ -19,7 +19,21 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obsv"
 )
+
+// writeMetricsSnapshot dumps the registry's JSON snapshot to path.
+func writeMetricsSnapshot(reg *obsv.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	topology := flag.String("topology", "rand", "topology family: rand|near|pl|isp")
@@ -35,7 +49,23 @@ func main() {
 	surges := flag.Int("surges", 20, "sampled hot-spot surge scenarios")
 	download := flag.Bool("download", true, "hot-spot surges in download (server->client) direction")
 	workers := flag.Int("workers", 0, "scenario worker pool size (0 = all CPUs, 1 = serial)")
+	metricsOut := flag.String("metrics-out", "", "write the observability registry as a JSON snapshot to this file at exit")
 	flag.Parse()
+
+	// With -metrics-out the run records engine telemetry and dumps it on
+	// the way out, so scenario sweeps produce the same observability
+	// artifact as dtropt, experiments and the daemon's /metrics.json.
+	if *metricsOut != "" {
+		reg := obsv.NewRegistry()
+		obsv.SetDefault(reg)
+		defer func() {
+			if err := writeMetricsSnapshot(reg, *metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "scenarios:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+		}()
+	}
 
 	spec := repro.NetworkSpec{
 		Topology:   *topology,

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/ctrl"
+	"repro/internal/obsv"
 	"repro/internal/routing"
 	"repro/internal/scenario"
 	"repro/internal/traffic"
@@ -333,12 +334,17 @@ func (c *Controller) planLocked(target, maxChanges int) (*MigrationPlan, error) 
 		return nil, fmt.Errorf("repro: configuration %d out of range [0,%d)", target, c.lib.lib.Size())
 	}
 	demD, demT := c.sel.Demands()
+	trace, root := c.sel.TraceContext()
 	p, err := ctrl.PlanMigration(c.net.ev, c.deployed, c.lib.lib.Entries[target].W, c.sel.Mask(), demD, demT, ctrl.PlanConfig{
 		MaxChanges: maxChanges,
 		// Bounded-change migration under live failures may have to pass
 		// through mildly degraded states; tolerate a small overshoot
 		// before declaring a step infeasible.
 		ViolationSlack: 2,
+		// Hang the planner's span off the trace of the telemetry event
+		// that prompted this migration.
+		Trace:  trace,
+		Parent: root,
 	})
 	if err != nil {
 		return nil, err
@@ -391,9 +397,13 @@ func (c *Controller) Apply(plan *MigrationPlan) error {
 			return fmt.Errorf("repro: plan step link %d out of range", st.Link)
 		}
 	}
+	trace, root := c.sel.TraceContext()
+	sp := obsv.Default().Spans().StartAt("apply", trace, root)
+	sp.SetAttr("steps", int64(len(plan.Steps)))
 	for _, st := range plan.Steps {
 		c.deployed.Set(st.Link, int32(st.Delay), int32(st.Throughput))
 	}
+	sp.End()
 	c.active = -1
 	for i, e := range c.lib.lib.Entries {
 		if c.deployed.Equal(e.W) {

@@ -5,6 +5,7 @@ import "repro/internal/obsv"
 // metrics is the package's handle bundle against the default obsv
 // registry; met.Get() is nil (one atomic load) while telemetry is off.
 type metrics struct {
+	reg          *obsv.Registry // for live Spans()/Flight() lookups
 	observeLink  *obsv.Histogram
 	observeDem   *obsv.Histogram
 	observeDelta *obsv.Histogram
@@ -21,6 +22,7 @@ var met = obsv.NewView(func(r *obsv.Registry) *metrics {
 	const obsHelp = "Selector.Observe fan-out latency by event class (deduplicated events excluded)."
 	const dedupHelp = "Events deduplicated before the session fan-out, by event class."
 	return &metrics{
+		reg:          r,
 		observeLink:  r.Histogram("ctrl_observe_seconds", obsHelp, obsv.LatencyBuckets, obsv.L("class", "link")),
 		observeDem:   r.Histogram("ctrl_observe_seconds", obsHelp, obsv.LatencyBuckets, obsv.L("class", "demand")),
 		observeDelta: r.Histogram("ctrl_observe_seconds", obsHelp, obsv.LatencyBuckets, obsv.L("class", "demand_delta")),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obsv"
 	"repro/internal/routing"
 	"repro/internal/traffic"
 )
@@ -20,6 +21,10 @@ type PlanConfig struct {
 	// SkipVerify disables the independent per-step loop-freedom check
 	// (VerifyLoopFree), which costs 2n Dijkstras per step.
 	SkipVerify bool
+	// Trace and Parent, when non-zero, attach the planner's span to an
+	// existing trace (typically the Selector's last observe root) so the
+	// observe → advise → plan chain shares one trace ID.
+	Trace, Parent uint64
 }
 
 // PlanStep is one link rewrite of a migration plan.
@@ -88,6 +93,16 @@ func PlanMigration(ev *routing.Evaluator, cur, tgt *routing.WeightSetting, mask 
 		}
 	}
 
+	met := met.Get()
+	var sp *obsv.Span
+	if met != nil {
+		// The scoring session below stays span-silent (no SetSpanContext):
+		// its hundreds of Apply/Revert probes per step would flood the ring
+		// and evict the observe tree the plan span hangs from.
+		sp = met.reg.Spans().StartAt("plan", cfg.Trace, cfg.Parent)
+		sp.SetAttr("diff", int64(len(diff)))
+	}
+
 	ses := ev.NewScenarioSession(mask, -1, demD, demT)
 	plan := &Plan{Start: ses.Init(cur)}
 	ev.EvaluateDemands(tgt, mask, -1, demD, demT, &plan.Target)
@@ -129,6 +144,9 @@ func PlanMigration(ev *routing.Evaluator, cur, tgt *routing.WeightSetting, mask 
 		st := PlanStep{Link: l, Delay: tgt.Delay[l], Throughput: tgt.Throughput[l], Result: bestRes}
 		if !cfg.SkipVerify {
 			if err := VerifyLoopFree(ev.Graph(), w, mask); err != nil {
+				sp.SetAttr("steps", int64(len(plan.Steps)))
+				sp.SetAttr("verify_failed", 1)
+				sp.End()
 				return nil, fmt.Errorf("ctrl: step %d (link %d): %w", len(plan.Steps), l, err)
 			}
 			st.LoopFree = true
@@ -139,11 +157,27 @@ func PlanMigration(ev *routing.Evaluator, cur, tgt *routing.WeightSetting, mask 
 	}
 	plan.Remaining = len(remaining)
 	plan.Complete = len(remaining) == 0
-	if m := met.Get(); m != nil {
-		m.plans.Inc()
-		m.planSteps.Observe(float64(len(plan.Steps)))
-		m.trace.Recordf("plan", "%d steps, complete=%v remaining=%d blocked=%v",
-			len(plan.Steps), plan.Complete, plan.Remaining, plan.Blocked)
+	sp.SetAttr("steps", int64(len(plan.Steps)))
+	if plan.Blocked {
+		sp.SetAttr("blocked", 1)
+	}
+	sp.End()
+	if met != nil {
+		met.plans.Inc()
+		met.planSteps.Observe(float64(len(plan.Steps)))
+		msg := fmt.Sprintf("%d steps, complete=%v remaining=%d blocked=%v trace=%d",
+			len(plan.Steps), plan.Complete, plan.Remaining, plan.Blocked, cfg.Trace)
+		met.trace.Record("plan", msg)
+		if plan.Blocked {
+			fr := met.reg.Flight()
+			fr.Capture(obsv.FlightRecord{
+				Trace:  cfg.Trace,
+				Kind:   "plan",
+				Reason: "infeasible",
+				Detail: msg,
+				Spans:  met.reg.Spans().TraceSpans(cfg.Trace),
+			})
+		}
 	}
 	return plan, nil
 }

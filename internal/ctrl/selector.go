@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obsv"
 	"repro/internal/routing"
 	"repro/internal/scenario"
 	"repro/internal/traffic"
@@ -38,6 +39,15 @@ type Selector struct {
 	demD, demT         *traffic.Matrix
 	ownsDemD, ownsDemT bool
 	events             int
+	// Span causality: the trace and root-span IDs of the most recent
+	// traced Observe fan-out, so Advise and the migration planner can
+	// link their decisions to the telemetry event that prompted them.
+	// Zero while span recording is disabled.
+	lastTrace, lastRoot uint64
+	// lastViol is the best candidate's violation count at the previous
+	// Advise, so SLA flight captures fire on degradation, not on every
+	// advise of a persisting violation.
+	lastViol int
 }
 
 // NewSelector builds a selector over the library, basing every
@@ -146,10 +156,19 @@ func (s *Selector) Observe(e scenario.Event) error {
 		} else {
 			s.ndown++
 		}
+		root := s.beginObserve(m, "observe.link")
+		root.SetAttr("link", int64(e.Link))
+		if up {
+			root.SetAttr("up", 1)
+		}
 		s.each(func(ses *routing.Session) { ses.SetLinkState(e.Link, up) })
+		root.End()
 		if m != nil {
-			m.observeLink.ObserveSince(t0)
-			m.trace.Recordf("observe", "link %d up=%v (down links: %d)", e.Link, up, s.ndown)
+			dur := time.Since(t0)
+			m.observeLink.Observe(dur.Seconds())
+			msg := fmt.Sprintf("link %d up=%v (down links: %d) trace=%d", e.Link, up, s.ndown, s.lastTrace)
+			m.trace.Record("observe", msg)
+			s.maybeFlight(m, "observe", msg, dur)
 		}
 	case scenario.EventDemand:
 		if e.DemD != nil && e.DemD.Size() != n {
@@ -167,10 +186,15 @@ func (s *Selector) Observe(e scenario.Event) error {
 		}
 		s.demD, s.demT = e.DemD, e.DemT
 		s.ownsDemD, s.ownsDemT = false, false
+		root := s.beginObserve(m, "observe.demand")
 		s.each(func(ses *routing.Session) { ses.SetDemands(e.DemD, e.DemT) })
+		root.End()
 		if m != nil {
-			m.observeDem.ObserveSince(t0)
-			m.trace.Record("observe", "dense demand update")
+			dur := time.Since(t0)
+			m.observeDem.Observe(dur.Seconds())
+			msg := fmt.Sprintf("dense demand update trace=%d", s.lastTrace)
+			m.trace.Record("observe", msg)
+			s.maybeFlight(m, "observe", msg, dur)
 		}
 	case scenario.EventDemandDelta:
 		if err := e.DeltaD.Validate(n); err != nil {
@@ -201,16 +225,64 @@ func (s *Selector) Observe(e scenario.Event) error {
 			}
 			s.demT.ApplyDelta(e.DeltaT)
 		}
+		root := s.beginObserve(m, "observe.demand_delta")
+		root.SetAttr("entries", int64(e.DeltaD.Len()+e.DeltaT.Len()))
 		s.each(func(ses *routing.Session) { ses.ApplyDemandDelta(e.DeltaD, e.DeltaT) })
+		root.End()
 		if m != nil {
-			m.observeDelta.ObserveSince(t0)
-			m.trace.Recordf("observe", "demand delta (%d+%d entries)", e.DeltaD.Len(), e.DeltaT.Len())
+			dur := time.Since(t0)
+			m.observeDelta.Observe(dur.Seconds())
+			msg := fmt.Sprintf("demand delta (%d+%d entries) trace=%d", e.DeltaD.Len(), e.DeltaT.Len(), s.lastTrace)
+			m.trace.Record("observe", msg)
+			s.maybeFlight(m, "observe", msg, dur)
 		}
 	default:
 		return fmt.Errorf("ctrl: unknown event kind %d", e.Kind)
 	}
 	s.events++
 	return nil
+}
+
+// TraceContext returns the trace and root-span IDs of the most recent
+// traced Observe fan-out (both zero while span recording is disabled),
+// so callers can attach downstream decision spans — the migration plan,
+// the apply — to the same trace.
+func (s *Selector) TraceContext() (trace, root uint64) { return s.lastTrace, s.lastRoot }
+
+// beginObserve opens the root span of one effective (non-deduplicated)
+// telemetry event and points every candidate session's span context at
+// it, so the whole fan-out lands in one trace. Returns nil when spans
+// are disabled.
+func (s *Selector) beginObserve(m *metrics, name string) *obsv.Span {
+	if m == nil {
+		return nil
+	}
+	root := m.reg.Spans().Start(name)
+	if root == nil {
+		return nil
+	}
+	s.lastTrace, s.lastRoot = root.TraceID(), root.ID()
+	for _, ses := range s.sessions {
+		ses.SetSpanContext(s.lastTrace, s.lastRoot)
+	}
+	return root
+}
+
+// maybeFlight captures a flight record of the event's span tree when
+// its fan-out latency trips the recorder's threshold.
+func (s *Selector) maybeFlight(m *metrics, kind, detail string, dur time.Duration) {
+	fr := m.reg.Flight()
+	if !fr.ExceedsLatency(dur) {
+		return
+	}
+	fr.Capture(obsv.FlightRecord{
+		Trace:    s.lastTrace,
+		Kind:     kind,
+		Reason:   "latency",
+		Detail:   detail,
+		Duration: dur,
+		Spans:    m.reg.Spans().TraceSpans(s.lastTrace),
+	})
 }
 
 // effective resolves a possibly-nil override matrix to the matrix in
@@ -267,6 +339,11 @@ func (s *Selector) Result(i int) routing.Result { return s.sessions[i].Result() 
 // bit-identical to a from-scratch Evaluator run of that configuration
 // under the selector's mask and demands.
 func (s *Selector) Advise() (int, routing.Result) {
+	m := met.Get()
+	var sp *obsv.Span
+	if m != nil {
+		sp = m.reg.Spans().StartAt("advise", s.lastTrace, s.lastRoot)
+	}
 	best := 0
 	bestRes := s.sessions[0].Result()
 	for i := 1; i < len(s.sessions); i++ {
@@ -274,10 +351,25 @@ func (s *Selector) Advise() (int, routing.Result) {
 			best, bestRes = i, res
 		}
 	}
-	if m := met.Get(); m != nil {
+	sp.SetAttr("config", int64(best))
+	sp.SetAttr("violations", int64(bestRes.Violations))
+	sp.End()
+	if m != nil {
 		m.advises.Inc()
-		m.trace.Recordf("advise", "config %d (violations=%d maxUtil=%.3f)",
-			best, bestRes.Violations, bestRes.MaxUtil)
+		msg := fmt.Sprintf("config %d (violations=%d maxUtil=%.3f) trace=%d",
+			best, bestRes.Violations, bestRes.MaxUtil, s.lastTrace)
+		m.trace.Record("advise", msg)
+		if bestRes.Violations > 0 && bestRes.Violations > s.lastViol {
+			fr := m.reg.Flight()
+			fr.Capture(obsv.FlightRecord{
+				Trace:  s.lastTrace,
+				Kind:   "advise",
+				Reason: "sla",
+				Detail: msg,
+				Spans:  m.reg.Spans().TraceSpans(s.lastTrace),
+			})
+		}
 	}
+	s.lastViol = bestRes.Violations
 	return best, bestRes
 }

@@ -1,0 +1,147 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU);
+// "X" complete events carry ts/dur in microseconds, "M" metadata events
+// name processes and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON loadable in
+// chrome://tracing or Perfetto. Control-flow spans (Worker < 0) land on
+// tid 0 ("control"); per-worker task spans land on tid Worker+1, one
+// track per worker lane. Timestamps are microseconds relative to the
+// earliest span start.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if len(spans) == 0 {
+		return json.NewEncoder(w).Encode(&out)
+	}
+	epoch := spans[0].Start
+	lanes := map[int]bool{}
+	for _, s := range spans {
+		if s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+		lanes[laneOf(&s)] = true
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "routing engine"},
+	})
+	ids := make([]int, 0, len(lanes))
+	for id := range lanes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		name := "control"
+		if id > 0 {
+			name = fmt.Sprintf("worker %d", id-1)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range spans {
+		args := map[string]any{"trace": s.Trace, "span": s.ID, "parent": s.Parent}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Val
+		}
+		dur := float64(s.End.Sub(s.Start).Nanoseconds()) / 1e3
+		if dur < 0 {
+			dur = 0
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur: dur,
+			Pid: 1, Tid: laneOf(&s),
+			Args: args,
+		})
+	}
+	return json.NewEncoder(w).Encode(&out)
+}
+
+func laneOf(s *SpanRecord) int {
+	if s.Worker < 0 {
+		return 0
+	}
+	return int(s.Worker) + 1
+}
+
+func lintErrf(errs []error, format string, args ...any) []error {
+	return append(errs, fmt.Errorf(format, args...))
+}
+
+// LintChromeTrace checks that data is structurally valid Chrome
+// trace-event JSON (object format): a traceEvents array whose entries
+// carry name/ph, with complete ("X") events additionally carrying
+// non-negative ts/dur and pid/tid. Returns one error per problem found,
+// nil when clean.
+func LintChromeTrace(data []byte) []error {
+	var errs []error
+	var doc struct {
+		TraceEvents *[]map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return lintErrf(errs, "chrome trace: not a JSON object: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		return lintErrf(errs, "chrome trace: missing traceEvents array")
+	}
+	for i, ev := range *doc.TraceEvents {
+		var ph, name string
+		if raw, ok := ev["ph"]; !ok || json.Unmarshal(raw, &ph) != nil || ph == "" {
+			errs = lintErrf(errs, "chrome trace: event %d: missing or invalid ph", i)
+			continue
+		}
+		if raw, ok := ev["name"]; !ok || json.Unmarshal(raw, &name) != nil || name == "" {
+			errs = lintErrf(errs, "chrome trace: event %d (ph %s): missing or invalid name", i, ph)
+		}
+		if ph != "X" {
+			continue
+		}
+		for _, field := range []string{"ts", "dur"} {
+			raw, ok := ev[field]
+			if !ok {
+				// dur is omitempty for zero-length spans; ts=0 for the
+				// epoch span. Absence means zero, which is valid.
+				continue
+			}
+			var v float64
+			if json.Unmarshal(raw, &v) != nil {
+				errs = lintErrf(errs, "chrome trace: event %d: %s is not a number", i, field)
+			} else if v < 0 {
+				errs = lintErrf(errs, "chrome trace: event %d: negative %s %g", i, field, v)
+			}
+		}
+		for _, field := range []string{"pid", "tid"} {
+			var v int
+			if raw, ok := ev[field]; !ok || json.Unmarshal(raw, &v) != nil {
+				errs = lintErrf(errs, "chrome trace: event %d: missing or invalid %s", i, field)
+			}
+		}
+	}
+	return errs
+}

@@ -1,8 +1,10 @@
 // Package obsv is the engine-wide observability layer: lock-free
 // counters and gauges, fixed-bucket histograms, a bounded decision-trace
-// ring buffer, and a Registry that renders everything as Prometheus text
-// exposition or a JSON snapshot. It has no dependencies outside the
-// standard library.
+// ring buffer, a hierarchical span recorder with an anomaly flight
+// recorder (plus a Chrome trace-event exporter), Go runtime
+// introspection metrics, and a Registry that renders everything as
+// Prometheus text exposition or a JSON snapshot. It has no dependencies
+// outside the standard library.
 //
 // Instrumented packages do not take a registry parameter; they fetch
 // their metric handles through a package-default registry (SetDefault)
@@ -221,6 +223,8 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	trace    *Trace
+	flight   *FlightRecorder
+	spans    atomic.Pointer[SpanRecorder]
 }
 
 // DefaultTraceCapacity is the decision-trace ring size of NewRegistry.
@@ -232,6 +236,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		families: make(map[string]*family),
 		trace:    NewTrace(DefaultTraceCapacity),
+		flight:   NewFlightRecorder(DefaultFlightCapacity),
 	}
 }
 
@@ -242,6 +247,38 @@ func (r *Registry) Trace() *Trace {
 		return nil
 	}
 	return r.trace
+}
+
+// Flight returns the registry's anomaly flight recorder (nil on a nil
+// registry; every FlightRecorder method is nil-safe in turn).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight
+}
+
+// EnableSpans attaches a span recorder with the given ring capacity
+// (DefaultSpanCapacity when <= 0) and returns it. Until this is called,
+// Spans returns nil and every span call site short-circuits on a nil
+// check — the disabled cost is the one atomic load of Spans. Calling it
+// again replaces the recorder (in-flight spans commit to the old ring).
+func (r *Registry) EnableSpans(capacity int) *SpanRecorder {
+	if r == nil {
+		return nil
+	}
+	rec := NewSpanRecorder(capacity)
+	r.spans.Store(rec)
+	return rec
+}
+
+// Spans returns the registry's span recorder, nil until EnableSpans —
+// the single atomic load the untraced path pays. Nil-safe.
+func (r *Registry) Spans() *SpanRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.spans.Load()
 }
 
 // lookup finds or creates the (family, series) pair, enforcing kind

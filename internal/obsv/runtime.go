@@ -1,0 +1,67 @@
+package obsv
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RuntimeMetrics mirrors Go runtime introspection state into a
+// registry: goroutine count, heap bytes, GOMAXPROCS, and a GC pause
+// histogram. It is refreshed at scrape time (call Refresh from the
+// exporter) rather than on a ticker, so an idle daemon costs nothing.
+type RuntimeMetrics struct {
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	gomaxprocs *Gauge
+	gcPause    *Histogram
+
+	mu        sync.Mutex
+	lastNumGC uint32
+	mem       runtime.MemStats
+}
+
+// gcPauseBuckets covers stop-the-world pauses: 10µs to 100ms. In seconds.
+var gcPauseBuckets = []float64{10e-6, 50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 5e-3, 10e-3, 50e-3, 0.1}
+
+// NewRuntimeMetrics registers the go_* families in r and returns the
+// refresher. Returns nil on a nil registry.
+func NewRuntimeMetrics(r *Registry) *RuntimeMetrics {
+	if r == nil {
+		return nil
+	}
+	return &RuntimeMetrics{
+		goroutines: r.Gauge("go_goroutines", "Current goroutine count"),
+		heapAlloc:  r.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects"),
+		heapSys:    r.Gauge("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS"),
+		gomaxprocs: r.Gauge("go_gomaxprocs", "Value of GOMAXPROCS"),
+		gcPause:    r.Histogram("go_gc_pause_seconds", "Stop-the-world GC pause durations", gcPauseBuckets),
+	}
+}
+
+// Refresh re-reads the runtime and updates the registered families,
+// feeding any GC pauses that completed since the previous Refresh into
+// the pause histogram (the runtime keeps the last 256 pauses, so a
+// scrape cadence slower than 256 GC cycles undercounts — acceptable for
+// introspection). No-op on a nil receiver.
+func (m *RuntimeMetrics) Refresh() {
+	if m == nil {
+		return
+	}
+	m.goroutines.Set(float64(runtime.NumGoroutine()))
+	m.gomaxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	runtime.ReadMemStats(&m.mem)
+	m.heapAlloc.Set(float64(m.mem.HeapAlloc))
+	m.heapSys.Set(float64(m.mem.HeapSys))
+	newGC := m.mem.NumGC - m.lastNumGC
+	if newGC > uint32(len(m.mem.PauseNs)) {
+		newGC = uint32(len(m.mem.PauseNs))
+	}
+	for i := uint32(0); i < newGC; i++ {
+		pause := m.mem.PauseNs[(m.mem.NumGC-i+255)%256]
+		m.gcPause.Observe(float64(pause) / 1e9)
+	}
+	m.lastNumGC = m.mem.NumGC
+}

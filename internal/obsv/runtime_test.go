@@ -1,0 +1,100 @@
+package obsv
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRuntimeMetricsRefresh(t *testing.T) {
+	r := NewRegistry()
+	rt := NewRuntimeMetrics(r)
+	// Force at least one GC so pause observations have a source.
+	runtime.GC()
+	rt.Refresh()
+	rt.Refresh() // second refresh must not double-count pauses
+
+	snap := r.Snapshot()
+	gauge := func(name string) float64 {
+		t.Helper()
+		for _, m := range snap.Metrics {
+			if m.Name == name {
+				if len(m.Series) != 1 || m.Series[0].Value == nil {
+					t.Fatalf("%s: want one gauge series, got %+v", name, m.Series)
+				}
+				return *m.Series[0].Value
+			}
+		}
+		t.Fatalf("%s missing from snapshot", name)
+		return 0
+	}
+	if v := gauge("go_goroutines"); v < 1 {
+		t.Fatalf("go_goroutines = %v, want >= 1", v)
+	}
+	if v := gauge("go_heap_alloc_bytes"); v <= 0 {
+		t.Fatalf("go_heap_alloc_bytes = %v, want > 0", v)
+	}
+	if v := gauge("go_heap_sys_bytes"); v <= 0 {
+		t.Fatalf("go_heap_sys_bytes = %v, want > 0", v)
+	}
+	if v := gauge("go_gomaxprocs"); int(v) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("go_gomaxprocs = %v, want %d", v, runtime.GOMAXPROCS(0))
+	}
+	var gcCount int64 = -1
+	for _, m := range snap.Metrics {
+		if m.Name == "go_gc_pause_seconds" {
+			if len(m.Series) != 1 || m.Series[0].Count == nil {
+				t.Fatalf("go_gc_pause_seconds: want one histogram series, got %+v", m.Series)
+			}
+			gcCount = *m.Series[0].Count
+		}
+	}
+	if gcCount < 0 {
+		t.Fatal("go_gc_pause_seconds missing")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if uint64(gcCount) > uint64(ms.NumGC) {
+		t.Fatalf("gc pause count %d exceeds NumGC %d", gcCount, ms.NumGC)
+	}
+	if gcCount == 0 && ms.NumGC > 0 {
+		t.Fatalf("no GC pauses observed despite %d GCs", ms.NumGC)
+	}
+	// A nil handle set must be a no-op.
+	var nilRT *RuntimeMetrics
+	nilRT.Refresh()
+}
+
+func TestTraceResizeAndEventsSince(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 6; i++ {
+		tr.Recordf("k", "msg %d", i)
+	}
+	// Seqs 2..5 retained.
+	if got := tr.OldestSeq(); got != 2 {
+		t.Fatalf("oldest = %d, want 2", got)
+	}
+	ev := tr.EventsSince(4)
+	if len(ev) != 2 || ev[0].Seq != 4 || ev[1].Seq != 5 {
+		t.Fatalf("EventsSince(4) = %+v", ev)
+	}
+	if got := tr.EventsSince(100); len(got) != 0 {
+		t.Fatalf("EventsSince(future) = %d events", len(got))
+	}
+
+	// Shrink: keeps only the newest that fit, seqs preserved.
+	tr.Resize(2)
+	ev = tr.Events()
+	if len(ev) != 2 || ev[0].Seq != 4 || ev[1].Seq != 5 {
+		t.Fatalf("after shrink: %+v", ev)
+	}
+	// Grow: retained events carry over, new capacity takes effect.
+	tr.Resize(8)
+	tr.Record("k", "post-grow")
+	ev = tr.Events()
+	if len(ev) != 3 || ev[2].Seq != 6 {
+		t.Fatalf("after grow: %+v", ev)
+	}
+	if tr.Total() != 7 {
+		t.Fatalf("total = %d, want 7", tr.Total())
+	}
+}

@@ -1,0 +1,230 @@
+package obsv
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanAttr is one structured attribute of a span. Values are int64 —
+// counts, IDs, nanosecond durations — so recording an attribute never
+// allocates or formats on the hot path.
+type SpanAttr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// SpanRecord is the completed form of a span as retained by the
+// recorder ring and rendered by /debug/spans. Trace groups all spans of
+// one causal chain (a telemetry event and everything it triggered); the
+// root span's ID doubles as the trace ID. Parent is 0 for roots. Worker
+// is -1 for control-flow spans and the worker-pool index for per-worker
+// task spans.
+type SpanRecord struct {
+	Trace  uint64     `json:"trace"`
+	ID     uint64     `json:"id"`
+	Parent uint64     `json:"parent"`
+	Name   string     `json:"name"`
+	Start  time.Time  `json:"start"`
+	End    time.Time  `json:"end"`
+	Worker int32      `json:"worker"`
+	Attrs  []SpanAttr `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's wall time.
+func (r *SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Attr returns the value of the named attribute and whether it was set.
+func (r *SpanRecord) Attr(key string) (int64, bool) {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Span is an in-flight timing region. Handles come from a pool on the
+// recorder and return to it on End; a span must not be touched after
+// End. All methods are no-ops on a nil receiver, so instrumentation can
+// chain Child/SetAttr/End unconditionally whether or not tracing is
+// enabled.
+type Span struct {
+	rec *SpanRecorder
+	r   SpanRecord
+}
+
+// TraceID returns the span's trace ID (0 on a nil receiver).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.r.Trace
+}
+
+// ID returns the span's own ID (0 on a nil receiver).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.r.ID
+}
+
+// SetAttr records a structured attribute on the span. The backing slice
+// is reused across the pool, so steady-state attribute recording does
+// not allocate.
+func (s *Span) SetAttr(key string, val int64) {
+	if s != nil {
+		s.r.Attrs = append(s.r.Attrs, SpanAttr{Key: key, Val: val})
+	}
+}
+
+// SetWorker tags the span with a worker-pool index so exporters can lay
+// it out on that worker's track.
+func (s *Span) SetWorker(idx int) {
+	if s != nil {
+		s.r.Worker = int32(idx)
+	}
+}
+
+// Child starts a nested span under s. Safe to call from multiple
+// goroutines on the same parent (it only reads the parent's immutable
+// identity). Returns nil when s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.StartAt(name, s.r.Trace, s.r.ID)
+}
+
+// End stamps the end time and commits the span to the recorder ring.
+// The handle is recycled; it must not be used afterwards.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.r.End = time.Now()
+	rec := s.rec
+	rec.mu.Lock()
+	slot := &rec.buf[rec.next%uint64(len(rec.buf))]
+	// Swap attr backing arrays so the evicted slot's storage is reused
+	// by this handle on its next trip through the pool.
+	attrs := slot.Attrs[:0]
+	old := s.r.Attrs
+	*slot = s.r
+	slot.Attrs = append(attrs, old...)
+	rec.next++
+	rec.mu.Unlock()
+	s.rec = nil
+	s.r.Attrs = old[:0]
+	rec.pool.Put(s)
+}
+
+// DefaultSpanCapacity is the span ring size of EnableSpans(0).
+const DefaultSpanCapacity = 4096
+
+// SpanRecorder retains the last `capacity` completed spans in a bounded
+// ring. Starting and ending spans is cheap (two time.Now calls plus a
+// short critical section on End) and allocation-free at steady state;
+// reading the ring copies. All methods are safe for concurrent use and
+// no-ops (returning nil spans) on a nil receiver.
+type SpanRecorder struct {
+	ids  atomic.Uint64
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next uint64 // total spans ever committed; buf[(next-1)%cap] is newest
+	pool sync.Pool
+}
+
+// NewSpanRecorder returns a recorder retaining the last `capacity`
+// spans (DefaultSpanCapacity when capacity <= 0).
+func NewSpanRecorder(capacity int) *SpanRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	r := &SpanRecorder{buf: make([]SpanRecord, capacity)}
+	r.pool.New = func() any { return &Span{} }
+	return r
+}
+
+// Start begins a root span: it gets a fresh trace ID equal to its own
+// span ID. Returns nil on a nil recorder.
+func (r *SpanRecorder) Start(name string) *Span { return r.StartAt(name, 0, 0) }
+
+// StartAt begins a span inside an existing trace under the given parent
+// span ID. A zero trace starts a fresh trace (the span becomes its
+// root). Returns nil on a nil recorder.
+func (r *SpanRecorder) StartAt(name string, trace, parent uint64) *Span {
+	if r == nil {
+		return nil
+	}
+	sp := r.pool.Get().(*Span)
+	id := r.ids.Add(1)
+	if trace == 0 {
+		trace = id
+	}
+	sp.rec = r
+	sp.r.Trace = trace
+	sp.r.ID = id
+	sp.r.Parent = parent
+	sp.r.Name = name
+	sp.r.Worker = -1
+	sp.r.Attrs = sp.r.Attrs[:0]
+	sp.r.End = time.Time{}
+	sp.r.Start = time.Now()
+	return sp
+}
+
+// Total returns how many spans were ever committed, including evicted
+// ones (0 on a nil receiver).
+func (r *SpanRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Capacity returns the ring size (0 on a nil receiver).
+func (r *SpanRecorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Spans returns the retained spans, oldest first. Attribute slices are
+// deep-copied: ring slots are reused by later spans.
+func (r *SpanRecorder) Spans() []SpanRecord {
+	return r.filter(func(*SpanRecord) bool { return true })
+}
+
+// TraceSpans returns the retained spans of one trace, oldest first.
+func (r *SpanRecorder) TraceSpans(trace uint64) []SpanRecord {
+	return r.filter(func(s *SpanRecord) bool { return s.Trace == trace })
+}
+
+func (r *SpanRecorder) filter(keep func(*SpanRecord) bool) []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	capacity := uint64(len(r.buf))
+	n := r.next
+	if n > capacity {
+		n = capacity
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := r.next - n; i < r.next; i++ {
+		s := &r.buf[i%capacity]
+		if !keep(s) {
+			continue
+		}
+		cp := *s
+		cp.Attrs = append([]SpanAttr(nil), s.Attrs...)
+		out = append(out, cp)
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package obsv
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanBasics(t *testing.T) {
+	rec := NewSpanRecorder(16)
+	root := rec.Start("root")
+	if root.TraceID() == 0 || root.TraceID() != root.ID() {
+		t.Fatalf("root trace/id = %d/%d, want equal non-zero", root.TraceID(), root.ID())
+	}
+	trace := root.TraceID()
+	child := root.Child("child")
+	if child.TraceID() != trace {
+		t.Fatalf("child trace = %d, want %d", child.TraceID(), trace)
+	}
+	child.SetAttr("n", 7)
+	child.SetWorker(3)
+	child.End()
+	root.SetAttr("dests", 42)
+	root.End()
+
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(spans))
+	}
+	// Commit order: child ends first.
+	if spans[0].Name != "child" || spans[1].Name != "root" {
+		t.Fatalf("span order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent = %d, want root id %d", spans[0].Parent, spans[1].ID)
+	}
+	if v, ok := spans[0].Attr("n"); !ok || v != 7 {
+		t.Fatalf("child attr n = %d,%v", v, ok)
+	}
+	if spans[0].Worker != 3 {
+		t.Fatalf("child worker = %d, want 3", spans[0].Worker)
+	}
+	if spans[1].Worker != -1 {
+		t.Fatalf("root worker = %d, want -1 (control)", spans[1].Worker)
+	}
+	if spans[0].Duration() < 0 {
+		t.Fatalf("negative duration %v", spans[0].Duration())
+	}
+	if got := rec.TraceSpans(trace); len(got) != 2 {
+		t.Fatalf("TraceSpans(%d) = %d spans, want 2", trace, len(got))
+	}
+	if got := rec.TraceSpans(trace + 999); len(got) != 0 {
+		t.Fatalf("TraceSpans(miss) = %d spans, want 0", len(got))
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var rec *SpanRecorder
+	sp := rec.Start("x")
+	if sp != nil {
+		t.Fatal("nil recorder must hand out nil spans")
+	}
+	// The whole chain must be a no-op.
+	sp.SetAttr("k", 1)
+	sp.SetWorker(0)
+	c := sp.Child("y")
+	c.SetAttr("k", 2)
+	c.End()
+	sp.End()
+	if rec.Total() != 0 || rec.Capacity() != 0 || rec.Spans() != nil {
+		t.Fatal("nil recorder must report empty")
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	rec := NewSpanRecorder(4)
+	for i := 0; i < 10; i++ {
+		sp := rec.Start("s")
+		sp.SetAttr("i", int64(i))
+		sp.End()
+	}
+	if rec.Total() != 10 {
+		t.Fatalf("total = %d, want 10", rec.Total())
+	}
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d, want 4", len(spans))
+	}
+	for k, sp := range spans {
+		if v, _ := sp.Attr("i"); v != int64(6+k) {
+			t.Fatalf("slot %d holds i=%d, want %d (oldest first)", k, v, 6+k)
+		}
+	}
+}
+
+// TestSpanRecorderConcurrent hammers the recorder from many goroutines
+// while readers snapshot — the race detector is the assertion.
+func TestSpanRecorderConcurrent(t *testing.T) {
+	rec := NewSpanRecorder(64)
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	wg.Add(writers + 2)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				root := rec.Start("root")
+				root.SetAttr("w", int64(w))
+				c := root.Child("child")
+				c.SetWorker(w)
+				c.SetAttr("i", int64(i))
+				c.End()
+				root.End()
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, sp := range rec.Spans() {
+					if sp.Name != "root" && sp.Name != "child" {
+						t.Errorf("unexpected span name %q", sp.Name)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := rec.Total(), uint64(writers*perWriter*2); got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+	// Reads must deep-copy attrs: mutate a snapshot and re-read.
+	a := rec.Spans()
+	if len(a) == 0 || len(a[0].Attrs) == 0 {
+		t.Fatal("expected retained spans with attrs")
+	}
+	a[0].Attrs[0].Val = -1
+	b := rec.Spans()
+	if b[0].Attrs[0].Val == -1 {
+		t.Fatal("snapshot aliases the ring's attr storage")
+	}
+}
+
+func TestRegistrySpansDisabledByDefault(t *testing.T) {
+	r := NewRegistry()
+	if r.Spans() != nil {
+		t.Fatal("spans must be off until EnableSpans")
+	}
+	rec := r.EnableSpans(0)
+	if rec == nil || r.Spans() != rec {
+		t.Fatal("EnableSpans must install the recorder")
+	}
+	if rec.Capacity() != DefaultSpanCapacity {
+		t.Fatalf("capacity = %d, want default %d", rec.Capacity(), DefaultSpanCapacity)
+	}
+}
+
+// TestFlightRecorderConcurrent drives captures and reads concurrently;
+// the race detector plus the seq/count invariants are the assertions.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.SetLatencyThreshold(time.Millisecond)
+	if !fr.ExceedsLatency(2 * time.Millisecond) {
+		t.Fatal("2ms must exceed a 1ms threshold")
+	}
+	if fr.ExceedsLatency(time.Microsecond) {
+		t.Fatal("1µs must not exceed a 1ms threshold")
+	}
+	var wg sync.WaitGroup
+	const writers = 4
+	const perWriter = 100
+	wg.Add(writers + 1)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				fr.Capture(FlightRecord{
+					Trace:    uint64(w*1000 + i),
+					Kind:     "test",
+					Reason:   "latency",
+					Duration: time.Duration(i) * time.Millisecond,
+				})
+			}
+		}(w)
+	}
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			for _, r := range fr.Records() {
+				if r.Kind != "test" {
+					t.Errorf("unexpected kind %q", r.Kind)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if got, want := fr.Total(), uint64(writers*perWriter); got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+	recs := fr.Records()
+	if len(recs) != 8 {
+		t.Fatalf("retained %d, want ring cap 8", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			t.Fatalf("seqs not increasing: %d then %d", recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+}
+
+func TestFlightRecorderThresholdZeroDisables(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	fr.SetLatencyThreshold(0)
+	if fr.ExceedsLatency(time.Hour) {
+		t.Fatal("threshold 0 must disable latency capture")
+	}
+	var nilFR *FlightRecorder
+	if nilFR.ExceedsLatency(time.Hour) {
+		t.Fatal("nil recorder must never trip")
+	}
+	nilFR.Capture(FlightRecord{}) // must not panic
+	if nilFR.Records() != nil || nilFR.Total() != 0 {
+		t.Fatal("nil recorder must report empty")
+	}
+}
+
+func TestWriteChromeTraceLints(t *testing.T) {
+	rec := NewSpanRecorder(32)
+	root := rec.Start("observe.link")
+	w0 := root.Child("session.worker")
+	w0.SetWorker(0)
+	w0.End()
+	w1 := root.Child("session.worker")
+	w1.SetWorker(1)
+	w1.SetAttr("tasks", 12)
+	w1.End()
+	root.End()
+
+	var buf jsonBuffer
+	if err := WriteChromeTrace(&buf, rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if errs := LintChromeTrace(buf.b); len(errs) != 0 {
+		t.Fatalf("lint errors: %v", errs)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.b, &tr); err != nil {
+		t.Fatal(err)
+	}
+	// 3 "X" complete events plus metadata events for the process and the
+	// three lanes present (control, worker 0, worker 1).
+	var complete, meta int
+	for _, e := range tr.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("complete events = %d, want 3", complete)
+	}
+	if meta < 4 {
+		t.Fatalf("metadata events = %d, want >= 4 (process + 3 lanes)", meta)
+	}
+}
+
+func TestLintChromeTraceRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`not json`,
+		`{"traceEvents": "nope"}`,
+		`{"traceEvents": [{"ph":"X"}]}`,   // missing name
+		`{"traceEvents": [{"name":"a"}]}`, // missing ph
+		`{"traceEvents": [{"name":"a","ph":"X","ts":-5,"pid":1,"tid":0}]}`,   // negative ts
+		`{"traceEvents": [{"name":"a","ph":"X","ts":1,"dur":1,"tid":0}]}`,    // missing pid
+		`{"traceEvents": [{"name":"a","ph":"X","ts":1,"pid":1,"tid":1.75}]}`, // non-integer tid
+	} {
+		if errs := LintChromeTrace([]byte(bad)); len(errs) == 0 {
+			t.Errorf("lint accepted %s", bad)
+		}
+	}
+	if errs := LintChromeTrace([]byte(`{"traceEvents": []}`)); len(errs) != 0 {
+		t.Errorf("lint rejected an empty trace: %v", errs)
+	}
+}
+
+type jsonBuffer struct{ b []byte }
+
+func (w *jsonBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

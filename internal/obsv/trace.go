@@ -21,9 +21,10 @@ type TraceEvent struct {
 // Record overwrites the oldest event. All methods are safe for
 // concurrent use and no-ops on a nil receiver.
 type Trace struct {
-	mu   sync.Mutex
-	buf  []TraceEvent
-	next uint64 // total events ever recorded; buf[(next-1)%cap] is newest
+	mu     sync.Mutex
+	buf    []TraceEvent
+	next   uint64 // total events ever recorded; buf[(next-1)%cap] is newest
+	oldest uint64 // seq of the oldest retained event (== next when empty)
 }
 
 // NewTrace returns a ring holding the last `capacity` events (minimum 1).
@@ -43,6 +44,9 @@ func (t *Trace) Record(kind, msg string) {
 	t.mu.Lock()
 	t.buf[t.next%uint64(len(t.buf))] = TraceEvent{Seq: t.next, Time: now, Kind: kind, Msg: msg}
 	t.next++
+	if t.next-t.oldest > uint64(len(t.buf)) {
+		t.oldest = t.next - uint64(len(t.buf))
+	}
 	t.mu.Unlock()
 }
 
@@ -55,23 +59,70 @@ func (t *Trace) Recordf(kind, format string, args ...any) {
 	t.Record(kind, fmt.Sprintf(format, args...))
 }
 
+// Resize replaces the ring with one of the given capacity (minimum 1),
+// carrying over the newest retained events that fit. It mutates the
+// ring in place so cached *Trace pointers (e.g. in metric-handle
+// bundles) stay valid.
+func (t *Trace) Resize(capacity int) {
+	if t == nil {
+		return
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.buf
+	oldCap := uint64(len(old))
+	n := t.next - t.oldest
+	if n > uint64(capacity) {
+		n = uint64(capacity)
+	}
+	buf := make([]TraceEvent, capacity)
+	for i := t.next - n; i < t.next; i++ {
+		buf[i%uint64(capacity)] = old[i%oldCap]
+	}
+	t.buf = buf
+	t.oldest = t.next - n
+}
+
 // Events returns the retained events, oldest first.
-func (t *Trace) Events() []TraceEvent {
+func (t *Trace) Events() []TraceEvent { return t.EventsSince(0) }
+
+// EventsSince returns the retained events with Seq >= since, oldest
+// first — the drop-aware incremental read: a consumer that saw through
+// seq s passes since=s+1 and, if the first returned event's Seq is
+// greater than that, knows the gap was evicted.
+func (t *Trace) EventsSince(since uint64) []TraceEvent {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	capacity := uint64(len(t.buf))
-	n := t.next
-	if n > capacity {
-		n = capacity
+	start := t.oldest
+	if since > start {
+		start = since
 	}
-	out := make([]TraceEvent, 0, n)
-	for i := t.next - n; i < t.next; i++ {
+	if start > t.next {
+		start = t.next
+	}
+	out := make([]TraceEvent, 0, t.next-start)
+	for i := start; i < t.next; i++ {
 		out = append(out, t.buf[i%capacity])
 	}
 	return out
+}
+
+// OldestSeq returns the sequence number of the oldest retained event
+// (equal to Total when the ring is empty).
+func (t *Trace) OldestSeq() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.oldest
 }
 
 // Total returns how many events were ever recorded, including evicted

@@ -9,6 +9,7 @@ import (
 // metrics is the package's handle bundle against the default obsv
 // registry; met.Get() is nil (one atomic load) while telemetry is off.
 type metrics struct {
+	reg           *obsv.Registry // for live Spans() lookups
 	p1Iterations  *obsv.Gauge
 	p1EvalsPerSec *obsv.Gauge
 	p1Evals       *obsv.Counter
@@ -22,6 +23,7 @@ var met = obsv.NewView(func(r *obsv.Registry) *metrics {
 	const rateHelp = "Live evaluation throughput of the running search phase."
 	const evalHelp = "Weight-setting evaluations by search phase."
 	return &metrics{
+		reg:           r,
 		p1Iterations:  r.Gauge("opt_phase_iterations", iterHelp, obsv.L("phase", "1")),
 		p1EvalsPerSec: r.Gauge("opt_phase_evals_per_sec", rateHelp, obsv.L("phase", "1")),
 		p1Evals:       r.Counter("opt_phase_evaluations_total", evalHelp, obsv.L("phase", "1")),

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/obsv"
 	"repro/internal/routing"
 )
 
@@ -142,6 +143,15 @@ func (o *Optimizer) RunPhase1() *Phase1Result {
 			ses.SetParallelism(cfg.Parallelism)
 		}
 	}
+	// One root span for the whole phase; the search session hangs its
+	// per-update spans off it (no-op until a recorder is enabled).
+	var root *obsv.Span
+	if mm := met.Get(); mm != nil {
+		root = mm.reg.Spans().Start("opt.phase1")
+	}
+	if ses != nil {
+		ses.SetSpanContext(root.TraceID(), root.ID())
+	}
 	w := routing.RandomWeightSetting(m, cfg.WMax, o.rng)
 	var cur, cand routing.Result
 	evals := 0
@@ -228,6 +238,9 @@ func (o *Optimizer) RunPhase1() *Phase1Result {
 		progress.publish(iter, evals)
 	}
 	progress.publish(iter, evals)
+	root.SetAttr("iterations", int64(iter))
+	root.SetAttr("evals", int64(evals))
+	root.End()
 
 	// Re-gate the harvest against the final benchmarks and build the
 	// criticality sampler from the surviving samples.

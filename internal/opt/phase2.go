@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/obsv"
 	"repro/internal/routing"
 	"repro/internal/scenario"
 	"repro/internal/traffic"
@@ -207,10 +208,19 @@ func (o *Optimizer) runPhase2(p1 *Phase1Result, scens []phase2Scenario) *Phase2R
 		budget = DefaultSessionBudgetBytes
 	}
 	useSessions := !cfg.FullEval && int64(len(scens)+1)*o.ev.SessionBytes() <= budget
+	// One root span for the whole phase; only the normal-conditions
+	// session attaches — the scenario sessions fan out one-per-worker and
+	// would flood the span ring with len(scens) records per move.
+	var root *obsv.Span
+	if mm := met.Get(); mm != nil {
+		root = mm.reg.Spans().Start("opt.phase2")
+	}
+	root.SetAttr("scenarios", int64(len(scens)))
 	var nses *routing.Session
 	var fses []*routing.Session
 	if useSessions {
 		nses = o.ev.NewSession(nil, -1)
+		nses.SetSpanContext(root.TraceID(), root.ID())
 		if cfg.Parallelism > 1 {
 			// Only the normal-conditions session parallelizes internally:
 			// the scenario sessions already fan out one-per-worker below,
@@ -346,6 +356,9 @@ func (o *Optimizer) runPhase2(p1 *Phase1Result, scens []phase2Scenario) *Phase2R
 		bestFail = evalFail(bestW)
 	}
 	progress.publish(iter, evals)
+	root.SetAttr("iterations", int64(iter))
+	root.SetAttr("evals", int64(evals))
+	root.End()
 	res := &Phase2Result{
 		BestW:     bestW,
 		FailCost:  bestFail,

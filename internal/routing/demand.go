@@ -81,11 +81,15 @@ func (s *Session) SetDemands(demD, demT *traffic.Matrix) Result {
 	if m := met.Get(); m != nil {
 		m.updDemand.Inc()
 	}
+	sp := s.beginUpdateSpan("session.demand")
 	s.chgColsD = changedColumns(s.demD, demD, s.chgColsD)
 	s.chgColsT = changedColumns(s.demT, demT, s.chgColsT)
 	s.demD, s.demT = demD, demT
 	s.ownsDemD, s.ownsDemT = false, false
-	return s.refreshDemands(s.chgColsD, s.chgColsT)
+	res := s.refreshDemands(s.chgColsD, s.chgColsT)
+	sp.SetAttr("columns", int64(len(s.chgColsD)+len(s.chgColsT)))
+	s.endUpdateSpan(sp)
+	return res
 }
 
 // ApplyDemandDelta folds sparse demand updates into the session's
@@ -115,9 +119,14 @@ func (s *Session) ApplyDemandDelta(dd, dt *traffic.Delta) Result {
 	if err := dt.Validate(n); err != nil {
 		panic("routing: " + err.Error())
 	}
+	sp := s.beginUpdateSpan("session.demand_delta")
+	sp.SetAttr("entries", int64(dd.Len()+dt.Len()))
 	s.chgColsD = s.applyDeltaClass(&s.demD, &s.ownsDemD, dd, s.chgColsD)
 	s.chgColsT = s.applyDeltaClass(&s.demT, &s.ownsDemT, dt, s.chgColsT)
-	return s.refreshDemands(s.chgColsD, s.chgColsT)
+	res := s.refreshDemands(s.chgColsD, s.chgColsT)
+	sp.SetAttr("columns", int64(len(s.chgColsD)+len(s.chgColsT)))
+	s.endUpdateSpan(sp)
+	return res
 }
 
 // refreshDemands is the shared evaluation tail of the demand updates:

@@ -118,6 +118,9 @@ func (s *Session) SetLinkStates(changes []LinkStateChange) Result {
 		return s.applyLinkFlip(s.lsChanges[0].Link, s.lsChanges[0].Up)
 	}
 
+	sp := s.beginUpdateSpan("session.link_batch")
+	sp.SetAttr("links", int64(len(s.lsChanges)))
+
 	// Mark the batch's failing links so the classifiers can test whether
 	// a tight out-link survives the batch.
 	if s.lsEpoch == int32(1<<31-1) {
@@ -133,6 +136,7 @@ func (s *Session) SetLinkStates(changes []LinkStateChange) Result {
 
 	// Classify against the pre-flip snapshots, then commit the flips and
 	// describe the batch in each class's weights for the repairs.
+	csp := sp.Child("session.classify")
 	n := g.NumNodes()
 	s.affD, s.dagD = s.affD[:0], s.dagD[:0]
 	s.affT, s.dagT = s.affT[:0], s.dagT[:0]
@@ -167,11 +171,13 @@ func (s *Session) SetLinkStates(changes []LinkStateChange) Result {
 		}
 	}
 	s.chg.kind, s.chg.link = chgBatch, -1
+	csp.End()
 
 	u := &s.undo
 	u.res = s.res
 	u.droppedT = s.droppedT
 	s.recompute(u)
+	s.endUpdateSpan(sp)
 	return s.res
 }
 

@@ -5,6 +5,7 @@ import "repro/internal/obsv"
 // metrics is the package's handle bundle against the default obsv
 // registry; met.Get() is nil (one atomic load) while telemetry is off.
 type metrics struct {
+	reg           *obsv.Registry // for live Spans() lookups (span.go)
 	inits         *obsv.Counter
 	updWeight     *obsv.Counter
 	updLink       *obsv.Counter
@@ -26,6 +27,7 @@ type metrics struct {
 var met = obsv.NewView(func(r *obsv.Registry) *metrics {
 	const updHelp = "Incremental session updates by event kind."
 	return &metrics{
+		reg: r,
 		inits: r.Counter("routing_session_inits_total",
 			"Full session rebases (Init), including demand-rebase fallbacks."),
 		updWeight: r.Counter("routing_session_updates_total", updHelp, obsv.L("kind", "weight")),

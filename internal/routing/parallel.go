@@ -201,10 +201,17 @@ func (s *Session) runRegion(region, ntasks int) int {
 	if k > ntasks {
 		k = ntasks
 	}
+	// Region span under the open update root (nil when untraced; every
+	// span method is a no-op then). Worker task spans exist only when the
+	// region actually fans out: serial regions are the worker.
+	rsp := s.spRoot.Child(regionSpanNames[region])
+	rsp.SetAttr("tasks", int64(ntasks))
+	rsp.SetAttr("workers", int64(k))
 	s.pr.region = int32(region)
 	s.pr.ntasks = int32(ntasks)
 	s.pr.next.Store(0)
 	if k > 1 {
+		s.spRegion = rsp // published before the spawns, cleared after the join
 		s.pr.widx.Store(0)
 		s.pr.wg.Add(k - 1)
 		for i := 1; i < k; i++ {
@@ -213,27 +220,40 @@ func (s *Session) runRegion(region, ntasks int) int {
 			// the compiler would otherwise allocate to capture s.
 			go s.parGo()
 		}
-	}
-	s.regionLoop(s.workers[0])
-	if k > 1 {
+		wsp := rsp.Child("session.worker")
+		wsp.SetWorker(0)
+		wsp.SetAttr("tasks", int64(s.regionLoop(s.workers[0])))
+		wsp.End()
 		s.pr.wg.Wait()
+		s.spRegion = nil
+	} else {
+		s.regionLoop(s.workers[0])
 	}
+	rsp.End()
 	return k
 }
 
 func (s *Session) parBody() {
-	wk := s.workers[s.pr.widx.Add(1)]
-	s.regionLoop(wk)
+	i := s.pr.widx.Add(1)
+	wsp := s.spRegion.Child("session.worker")
+	wsp.SetWorker(int(i))
+	wsp.SetAttr("tasks", int64(s.regionLoop(s.workers[i])))
+	wsp.End()
 	s.pr.wg.Done()
 }
 
-func (s *Session) regionLoop(wk *sesWorker) {
+// regionLoop pulls tasks off the shared counter until the region is
+// drained, returning how many tasks this worker ran (the busy share its
+// task span reports).
+func (s *Session) regionLoop(wk *sesWorker) int {
 	region, ntasks := s.pr.region, int(s.pr.ntasks)
+	done := 0
 	for {
 		i := int(s.pr.next.Add(1)) - 1
 		if i >= ntasks {
-			return
+			return done
 		}
+		done++
 		switch region {
 		case regionDests:
 			s.destTaskRun(i, wk)

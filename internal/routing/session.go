@@ -3,6 +3,7 @@ package routing
 import (
 	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/obsv"
 	"repro/internal/spf"
 	"repro/internal/traffic"
 )
@@ -118,6 +119,14 @@ type Session struct {
 	denseFrac      float64
 	denseCols      bool
 	denseD, denseT []int
+
+	// Span tracing (see span.go). spanTrace == 0 (the default) keeps the
+	// session span-silent; spRoot is the open update root span and
+	// spRegion the region span spawned workers attach their task spans
+	// to (written serially before the spawns, read by the workers).
+	spanTrace, spanParent uint64
+	spRoot                *obsv.Span
+	spRegion              *obsv.Span
 
 	undo        undoState
 	freeDest    []delayDest
@@ -300,6 +309,7 @@ func (s *Session) Init(w *WeightSetting) Result {
 	if m := met.Get(); m != nil {
 		m.inits.Inc()
 	}
+	sp := s.beginUpdateSpan("session.init")
 	e := s.e
 	n := e.g.NumNodes()
 	s.w.CopyFrom(w)
@@ -347,6 +357,8 @@ func (s *Session) Init(w *WeightSetting) Result {
 	}
 
 	s.res = s.assemble(lambda, phi, violations, disconnected, maxUtil, sumUtil, aliveLinks)
+	sp.SetAttr("dests", int64(len(s.lamQ)))
+	s.endUpdateSpan(sp)
 	return s.res
 }
 
@@ -372,11 +384,14 @@ func (s *Session) Apply(l int, wd, wt int32) Result {
 	if m := met.Get(); m != nil {
 		m.updWeight.Inc()
 	}
+	sp := s.beginUpdateSpan("session.weight")
+	sp.SetAttr("link", int64(l))
 	n := s.e.g.NumNodes()
 	s.recycleUndo()
 	u := &s.undo
 
 	oldD, oldT := s.w.Delay[l], s.w.Throughput[l]
+	csp := sp.Child("session.classify")
 	s.affD, s.dagD = s.affD[:0], s.dagD[:0]
 	s.affT, s.dagT = s.affT[:0], s.dagT[:0]
 	for t := 0; t < n; t++ {
@@ -396,6 +411,7 @@ func (s *Session) Apply(l int, wd, wt int32) Result {
 			s.dagT = append(s.dagT, t)
 		}
 	}
+	csp.End()
 
 	u.link, u.prevD, u.prevT = l, oldD, oldT
 	u.res = s.res
@@ -408,10 +424,13 @@ func (s *Session) Apply(l int, wd, wt int32) Result {
 		// No destination's routing can change in either class, so loads,
 		// delays and every cost term stay exactly as they are.
 		u.noop = true
+		sp.SetAttr("noop", 1)
+		s.endUpdateSpan(sp)
 		return s.res
 	}
 	u.noop = false
 	s.recompute(u)
+	s.endUpdateSpan(sp)
 	return s.res
 }
 
@@ -503,7 +522,23 @@ func (s *Session) recompute(u *undoState) {
 	// only its destination's slots; changed-link candidates go to
 	// per-worker lists.
 	s.beginPar()
+	root := s.spRoot
+	var spfBase spf.RepairStats
+	if root != nil {
+		root.SetAttr("dests_repair", int64(len(s.affD)+len(s.affT)))
+		root.SetAttr("dests_dag_only", int64(len(s.dagD)+len(s.dagT)))
+		spfBase = s.workerStats()
+	}
 	s.countDestTasks(s.runRegion(regionDests, len(s.tasks)), len(s.tasks))
+	if root != nil {
+		d := s.workerStats().Sub(spfBase)
+		root.SetAttr("repair_increase", int64(d.Increase))
+		root.SetAttr("repair_decrease", int64(d.Decrease))
+		root.SetAttr("repair_batch", int64(d.Batch))
+		root.SetAttr("repair_noop", int64(d.Noop))
+		root.SetAttr("spf_runs", int64(d.Runs))
+		root.SetAttr("changed_nodes", int64(d.ChangedNodes))
+	}
 
 	// Serial merge: deduplicate the workers' changed-link candidates in
 	// worker order. Only the resulting set matters — each changed link's
@@ -729,8 +764,14 @@ func (s *Session) SetLinkState(li int, up bool) Result {
 // snapshots, commit the flip, recompute. The caller has already cleared
 // the undo state and ruled out no-ops and dead-endpoint flips.
 func (s *Session) applyLinkFlip(li int, up bool) Result {
+	sp := s.beginUpdateSpan("session.link")
+	sp.SetAttr("link", int64(li))
+	if up {
+		sp.SetAttr("up", 1)
+	}
 	u := &s.undo
 	n := s.e.g.NumNodes()
+	csp := sp.Child("session.classify")
 	s.affD, s.dagD = s.affD[:0], s.dagD[:0]
 	s.affT, s.dagT = s.affT[:0], s.dagT[:0]
 	for t := 0; t < n; t++ {
@@ -750,6 +791,7 @@ func (s *Session) applyLinkFlip(li int, up bool) Result {
 			s.dagT = append(s.dagT, t)
 		}
 	}
+	csp.End()
 	if up {
 		s.mask.ReviveLink(li)
 		s.chg.kind = chgLinkUp
@@ -761,6 +803,7 @@ func (s *Session) applyLinkFlip(li int, up bool) Result {
 	u.res = s.res
 	u.droppedT = s.droppedT
 	s.recompute(u)
+	s.endUpdateSpan(sp)
 	return s.res
 }
 

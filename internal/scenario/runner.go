@@ -16,12 +16,14 @@ import (
 // metrics is the package's handle bundle against the default obsv
 // registry; met.Get() is nil (one atomic load) while telemetry is off.
 type metrics struct {
+	reg         *obsv.Registry // for live Spans() lookups
 	evals       *obsv.Counter
 	evalSeconds *obsv.Histogram
 }
 
 var met = obsv.NewView(func(r *obsv.Registry) *metrics {
 	return &metrics{
+		reg: r,
 		evals: r.Counter("scenario_evals_total",
 			"Scenario evaluations completed by the runner pool."),
 		evalSeconds: r.Histogram("scenario_eval_seconds",
@@ -114,6 +116,12 @@ func (r Runner) Run(ev *routing.Evaluator, w *routing.WeightSetting, set Set) *R
 	}
 
 	m := met.Get() // one fetch per Run; workers share the handles
+	var sp *obsv.Span
+	if m != nil {
+		sp = m.reg.Spans().Start("scenario.run")
+		sp.SetAttr("scenarios", int64(n))
+		sp.SetAttr("workers", int64(workers))
+	}
 	var next atomic.Int64
 	work := func(mask *graph.Mask) {
 		for {
@@ -148,6 +156,7 @@ func (r Runner) Run(ev *routing.Evaluator, w *routing.WeightSetting, set Set) *R
 		}
 		wg.Wait()
 	}
+	sp.End()
 
 	return &Report{Set: set.Name, Results: results}
 }

@@ -84,6 +84,7 @@ func (ws *Workspace) RepairBatch(g *graph.Graph, w []int32, changes []LinkChange
 		}
 		kept++
 	}
+	ws.stats.Batch++
 	if m != nil {
 		m.repairBatch.Inc()
 		m.batchLinks.Observe(float64(kept))
@@ -95,6 +96,7 @@ func (ws *Workspace) RepairBatch(g *graph.Graph, w []int32, changes []LinkChange
 	if inc {
 		if ws.batchIncrease(g, w, changes, mask, bep) {
 			changed = true
+			ws.stats.ChangedNodes += len(ws.affList)
 			if m != nil {
 				m.changedNodes.Observe(float64(len(ws.affList)))
 			}
@@ -103,6 +105,7 @@ func (ws *Workspace) RepairBatch(g *graph.Graph, w []int32, changes []LinkChange
 	if dec {
 		if ws.batchDecrease(g, w, changes, mask) {
 			changed = true
+			ws.stats.ChangedNodes += len(ws.chgSorted)
 			if m != nil {
 				m.changedNodes.Observe(float64(len(ws.chgSorted)))
 			}

@@ -102,6 +102,7 @@ func (ws *Workspace) repair(g *graph.Graph, w []int32, li int, oldEff, newEff in
 	}
 	m := met.Get()
 	if oldEff == newEff {
+		ws.stats.Noop++
 		if m != nil {
 			m.repairNoop.Inc()
 		}
@@ -112,6 +113,7 @@ func (ws *Workspace) repair(g *graph.Graph, w []int32, li int, oldEff, newEff in
 	if dv >= Inf {
 		// The link leads nowhere near this destination (including the
 		// dead-destination case where every distance is Inf).
+		ws.stats.Noop++
 		if m != nil {
 			m.repairNoop.Inc()
 		}
@@ -119,6 +121,10 @@ func (ws *Workspace) repair(g *graph.Graph, w []int32, li int, oldEff, newEff in
 	}
 	if newEff < oldEff {
 		changed := ws.repairDecrease(g, w, tail, dv+newEff, mask)
+		ws.stats.Decrease++
+		if changed {
+			ws.stats.ChangedNodes += len(ws.chgSorted)
+		}
 		if m != nil {
 			m.repairDecrease.Inc()
 			if changed {
@@ -128,6 +134,10 @@ func (ws *Workspace) repair(g *graph.Graph, w []int32, li int, oldEff, newEff in
 		return changed
 	}
 	changed := ws.repairIncrease(g, w, tail, dv+oldEff, mask)
+	ws.stats.Increase++
+	if changed {
+		ws.stats.ChangedNodes += len(ws.affList)
+	}
 	if m != nil {
 		m.repairIncrease.Inc()
 		if changed {

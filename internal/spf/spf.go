@@ -61,6 +61,10 @@ type Workspace struct {
 	batchOldMark []int32 // this epoch: batchOld[li] overrides w[li]
 	batchUpMark  []int32 // this epoch: link newly up (dead at the mid state)
 	batchEpoch   int32
+
+	// Cumulative work counters (see stats.go); owners diff snapshots to
+	// attribute repair modes to one update.
+	stats RepairStats
 }
 
 // NewWorkspace returns a Workspace sized for g.
@@ -112,6 +116,7 @@ func (ws *Workspace) Run(g *graph.Graph, w []int32, dest int, mask *graph.Mask) 
 	if g != ws.g {
 		panic("spf: Workspace used with a graph other than the one it was created for")
 	}
+	ws.stats.Runs++
 	if m := met.Get(); m != nil {
 		m.runs.Inc()
 	}

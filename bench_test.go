@@ -8,6 +8,7 @@ package repro
 // paper-vs-measured comparison.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"runtime"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/ctrl"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/ingest"
 	"repro/internal/obsv"
 	"repro/internal/opt"
 	"repro/internal/routing"
@@ -713,4 +715,88 @@ func BenchmarkSelectorAdviseSpans(b *testing.B) {
 	obsv.SetDefault(reg)
 	defer obsv.SetDefault(nil)
 	benchSelectorAdvise(b)
+}
+
+// --- High-rate ingestion: the firehose pair ---------------------------
+//
+// Both variants replay the same rendered telemetry stream (every
+// scenario of a failure+surge day as onset/recovery episodes, shuffled
+// and chunked into 256-event batches) into an 4-candidate selector on
+// the paper's standard 30-node RandTopo. PerEvent is the per-request
+// baseline: one Observe fan-out per event, the cost of the original
+// one-object /observe path. Batched drives the same stream through the
+// internal/ingest queue, whose delivery loop coalesces superseded
+// events (a flap and its recovery in the same batch cancel; demand
+// deltas merge) and folds each batch into the selector through the
+// batch path. events_per_sec is the sustained intake throughput; the
+// benchgate tracks the Batched/PerEvent ratio staying >= 5x.
+
+func benchFirehose(b *testing.B) (*ctrl.Selector, []scenario.TimedBatch, int) {
+	b.Helper()
+	ev, _ := benchEvaluator(b, 30, 180)
+	rng := rand.New(rand.NewSource(2))
+	ws := make([]*routing.WeightSetting, 4)
+	for i := range ws {
+		ws[i] = routing.RandomWeightSetting(ev.Graph().NumLinks(), 20, rng)
+	}
+	lib, err := ctrl.FromWeightSettings(ev, nil, ws, scenario.Set{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel, err := ctrl.NewSelector(ev, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ev.Graph()
+	set := scenario.Merge("firehose",
+		scenario.SingleLinkFailures(g),
+		scenario.DualLinkFailures(g, 20, 7),
+		scenario.HotspotSurges(ev.DemandDelay(), ev.DemandThroughput(), traffic.DefaultHotspot(true), 6, 11))
+	batches := scenario.Firehose(g, set, scenario.FirehoseConfig{BatchEvents: 256, Seed: 5})
+	total := 0
+	for _, tb := range batches {
+		total += len(tb.Events)
+	}
+	return sel, batches, total
+}
+
+func BenchmarkFirehose(b *testing.B) {
+	b.Run("PerEvent", func(b *testing.B) {
+		sel, batches, total := benchFirehose(b)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, tb := range batches {
+				for _, e := range tb.Events {
+					if err := sel.Observe(e); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		if d := time.Since(start).Seconds(); d > 0 {
+			b.ReportMetric(float64(b.N*total)/d, "events_per_sec")
+		}
+	})
+	b.Run("Batched", func(b *testing.B) {
+		sel, batches, total := benchFirehose(b)
+		in := ingest.New(ingest.Config{Capacity: 1 << 20, MaxBatch: 1024}, sel)
+		defer in.Close(context.Background())
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, tb := range batches {
+				if _, err := in.Enqueue(tb.Events); err != nil {
+					b.Fatal(err)
+				}
+			}
+			in.Quiesce() // every accepted event reaches the selector
+		}
+		if d := time.Since(start).Seconds(); d > 0 {
+			b.ReportMetric(float64(b.N*total)/d, "events_per_sec")
+		}
+		if err := in.Err(); err != nil {
+			b.Fatal(err)
+		}
+	})
 }

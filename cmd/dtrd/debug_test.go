@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,8 +13,8 @@ import (
 )
 
 // debugServer is testServer with parallel candidate sessions (so worker
-// task spans appear) and a handle on the registry.
-func debugServer(t *testing.T) (*httptest.Server, *obsv.Registry) {
+// task spans appear) and handles on the registry and intake.
+func debugServer(t *testing.T) (*httptest.Server, *obsv.Registry, *repro.Intake) {
 	t.Helper()
 	reg := obsv.NewRegistry()
 	reg.EnableSpans(4096)
@@ -38,9 +39,11 @@ func debugServer(t *testing.T) (*httptest.Server, *obsv.Registry) {
 		t.Fatal(err)
 	}
 	ctrl.SetParallelism(2)
-	ts := httptest.NewServer(newServer(net, lib, ctrl, reg).mux())
+	intake := ctrl.NewIntake(repro.IntakeOptions{})
+	t.Cleanup(func() { intake.Close(context.Background()) })
+	ts := httptest.NewServer(newServer(net, lib, ctrl, intake, reg).mux())
 	t.Cleanup(ts.Close)
-	return ts, reg
+	return ts, reg, intake
 }
 
 type spansPayload struct {
@@ -50,17 +53,19 @@ type spansPayload struct {
 	Spans    []obsv.SpanRecord `json:"spans"`
 }
 
-// TestDebugSpansLinkFlap is the PR's acceptance scenario: one simulated
-// link flap through the daemon must produce a connected span tree —
-// observe root, advise, per-session update roots with repair/re-sum/Λ
-// region children and worker task spans — retrievable from
-// /debug/spans, filterable by trace.
+// TestDebugSpansLinkFlap: one simulated link flap through the daemon
+// must produce a connected span tree — the ingest delivery span roots
+// the trace, the observe span nests under it, advise joins, and each
+// per-session update root carries its repair/re-sum/Λ region children
+// and worker task spans — retrievable from /debug/spans, filterable by
+// trace.
 func TestDebugSpansLinkFlap(t *testing.T) {
-	ts, _ := debugServer(t)
+	ts, _, intake := debugServer(t)
 
-	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 3}, nil); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 3}, nil); code != http.StatusAccepted {
 		t.Fatalf("observe returned %d", code)
 	}
+	intake.Quiesce()
 	var adv repro.Advice
 	getJSON(t, ts.URL+"/advise", &adv)
 
@@ -70,20 +75,27 @@ func TestDebugSpansLinkFlap(t *testing.T) {
 		t.Fatalf("spans payload: total=%d retained=%d capacity=%d", all.Total, all.Retained, all.Capacity)
 	}
 
-	// Find the observe root for the flap.
-	var root *obsv.SpanRecord
+	// The ingest delivery span roots the flap's trace; the observe span
+	// joins it as a child.
+	var root, obs *obsv.SpanRecord
 	for i := range all.Spans {
-		if all.Spans[i].Name == "observe.link" {
+		switch all.Spans[i].Name {
+		case "ingest.deliver":
 			root = &all.Spans[i]
+		case "observe.link":
+			obs = &all.Spans[i]
 		}
 	}
-	if root == nil {
-		t.Fatalf("no observe.link span in %d spans", len(all.Spans))
+	if root == nil || obs == nil {
+		t.Fatalf("missing ingest.deliver/observe.link span in %d spans", len(all.Spans))
 	}
 	if root.Parent != 0 || root.Trace != root.ID {
-		t.Fatalf("observe root not a trace root: %+v", root)
+		t.Fatalf("ingest.deliver not a trace root: %+v", root)
 	}
-	if v, ok := root.Attr("link"); !ok || v != 3 {
+	if obs.Trace != root.Trace || obs.Parent != root.ID {
+		t.Fatalf("observe.link did not join the ingest trace: %+v vs root %+v", obs, root)
+	}
+	if v, ok := obs.Attr("link"); !ok || v != 3 {
 		t.Fatalf("observe.link link attr = %d,%v", v, ok)
 	}
 
@@ -112,6 +124,7 @@ func TestDebugSpansLinkFlap(t *testing.T) {
 	// classification, repair, re-sum and Λ children; advise joins the
 	// same trace; worker task spans cover both workers.
 	for name, want := range map[string]int{
+		"ingest.deliver":   1,
 		"observe.link":     1,
 		"advise":           1,
 		"session.link":     2,
@@ -139,10 +152,11 @@ func TestDebugSpansLinkFlap(t *testing.T) {
 // TestDebugChromeTraceExport exports the flap trace as Chrome
 // trace-event JSON and lints it.
 func TestDebugChromeTraceExport(t *testing.T) {
-	ts, _ := debugServer(t)
-	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 5}, nil); code != http.StatusOK {
+	ts, _, intake := debugServer(t)
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 5}, nil); code != http.StatusAccepted {
 		t.Fatalf("observe returned %d", code)
 	}
+	intake.Quiesce()
 	resp, err := http.Get(ts.URL + "/debug/trace.chrome")
 	if err != nil {
 		t.Fatal(err)
@@ -163,11 +177,12 @@ func TestDebugChromeTraceExport(t *testing.T) {
 // TestDebugFlightRecorder forces a latency capture by dropping the
 // threshold to 1ns, then checks /debug/flightrec carries the span dump.
 func TestDebugFlightRecorder(t *testing.T) {
-	ts, reg := debugServer(t)
+	ts, reg, intake := debugServer(t)
 	reg.Flight().SetLatencyThreshold(time.Nanosecond)
-	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 7}, nil); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 7}, nil); code != http.StatusAccepted {
 		t.Fatalf("observe returned %d", code)
 	}
+	intake.Quiesce()
 	var fr struct {
 		Total       uint64 `json:"total"`
 		Retained    int    `json:"retained"`
@@ -208,15 +223,19 @@ func TestDebugFlightRecorder(t *testing.T) {
 
 // TestDebugTraceFilters exercises ?kind= and ?since= on /debug/trace.
 func TestDebugTraceFilters(t *testing.T) {
-	ts, _ := debugServer(t)
+	ts, _, intake := debugServer(t)
 	for i, link := range []int{1, 2, 1, 2} {
 		kind := "link-down"
 		if i >= 2 {
 			kind = "link-up"
 		}
-		if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: kind, Link: link}, nil); code != http.StatusOK {
+		if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: kind, Link: link}, nil); code != http.StatusAccepted {
 			t.Fatalf("observe returned %d", code)
 		}
+		// Quiesce between posts so each flap is delivered on its own
+		// (back-to-back posts may otherwise share one coalesced
+		// delivery) and the trace records four observe events.
+		intake.Quiesce()
 	}
 	getJSON(t, ts.URL+"/advise", new(map[string]any))
 

@@ -12,7 +12,10 @@
 // Endpoints: GET /state /advise /config /metrics /healthz,
 // POST /observe {"kind":"link-down","link":3} (also "demand-scale"
 // with "scale", and sparse "demand-delta" with per-class
-// "deltad"/"deltat" entry lists), POST /plan and /apply
+// "deltad"/"deltat" entry lists) — or a JSON array of such events:
+// batches are validated whole, admitted into a bounded async intake
+// queue (202 accepted; 429 + Retry-After when full) and coalesced
+// before they hit the selector — POST /plan and /apply
 // {"target":1,"max_changes":4}.
 package main
 
@@ -21,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,6 +55,9 @@ func main() {
 	maxChanges := flag.Int("max-changes", 5, "weight-change budget per migration stage in replay mode")
 
 	workers := flag.Int("workers", 1, "recompute workers per candidate session (0 = GOMAXPROCS); results are identical at any setting")
+	intakeCap := flag.Int("intake-cap", 4096, "intake queue capacity in events; full queues shed whole batches with 429")
+	intakeBatch := flag.Int("intake-batch", 1024, "max events coalesced into one selector delivery")
+	intakeRetry := flag.Duration("intake-retry", time.Second, "Retry-After hint returned with 429 responses")
 	listen := flag.String("listen", "", "HTTP listen address (e.g. :8484); empty with -replay exits after the replay")
 	replay := flag.Bool("replay", false, "replay the scenario day as telemetry before serving")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -69,7 +76,7 @@ func main() {
 	reg.Flight().SetLatencyThreshold(*flightLatency)
 	obsv.SetDefault(reg)
 
-	net, err := repro.NewNetwork(repro.NetworkSpec{
+	nw, err := repro.NewNetwork(repro.NetworkSpec{
 		Topology:   *topology,
 		Nodes:      *nodes,
 		Links:      *links,
@@ -81,14 +88,14 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("dtrd: network %s [%d nodes, %d links], SLA bound %gms\n",
-		*topology, net.Nodes(), net.Links(), net.SLABoundMs())
+		*topology, nw.Nodes(), nw.Links(), nw.SLABoundMs())
 
 	// The scenario day: single-link failures, sampled dual-link outages,
 	// hot-spot surges. It seeds both the library build and replay mode.
-	day, err := net.MergeScenarios("day",
-		net.SingleLinkFailureScenarios(),
-		net.DualLinkFailureScenarios(*dual, *seed+1),
-		net.HotspotSurgeScenarios(true, *surges, *seed+2))
+	day, err := nw.MergeScenarios("day",
+		nw.SingleLinkFailureScenarios(),
+		nw.DualLinkFailureScenarios(*dual, *seed+1),
+		nw.HotspotSurgeScenarios(true, *surges, *seed+2))
 	if err != nil {
 		fatal(err)
 	}
@@ -100,7 +107,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if lib, err = net.LibraryFromJSON(data); err != nil {
+		if lib, err = nw.LibraryFromJSON(data); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("dtrd: loaded library %s (%d configurations)\n", *library, lib.Size())
@@ -113,11 +120,11 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if routings[i], err = net.RoutingFromJSON(data); err != nil {
+			if routings[i], err = nw.RoutingFromJSON(data); err != nil {
 				fatal(fmt.Errorf("%s: %w", files[i], err))
 			}
 		}
-		if lib, err = net.LibraryFromRoutings(files, routings...); err != nil {
+		if lib, err = nw.LibraryFromRoutings(files, routings...); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("dtrd: serving %d imported configurations\n", lib.Size())
@@ -125,7 +132,7 @@ func main() {
 		start := time.Now()
 		fmt.Printf("dtrd: building a %d-configuration library over %d scenarios (budget %s)...\n",
 			*build, day.Size(), *budget)
-		if lib, err = net.BuildLibrary(day, repro.LibraryOptions{Size: *build, Budget: *budget, Seed: *seed, Workers: *workers}); err != nil {
+		if lib, err = nw.BuildLibrary(day, repro.LibraryOptions{Size: *build, Budget: *budget, Seed: *seed, Workers: *workers}); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("dtrd: library ready in %s: %v\n", time.Since(start).Round(time.Millisecond), lib.Names())
@@ -141,7 +148,7 @@ func main() {
 		fmt.Printf("dtrd: library written to %s\n", *libraryOut)
 	}
 
-	ctrl, err := net.NewController(lib)
+	ctrl, err := nw.NewController(lib)
 	if err != nil {
 		fatal(err)
 	}
@@ -159,7 +166,12 @@ func main() {
 		}
 		return
 	}
-	srv := newServer(net, lib, ctrl, reg)
+	intake := ctrl.NewIntake(repro.IntakeOptions{
+		Capacity:   *intakeCap,
+		MaxBatch:   *intakeBatch,
+		RetryAfter: *intakeRetry,
+	})
+	srv := newServer(nw, lib, ctrl, intake, reg)
 	srv.enablePprof = *pprofFlag
 	hs := &http.Server{
 		Addr:              *listen,
@@ -170,12 +182,31 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections and
-	// drains in-flight requests (bounded) before exiting.
-	idle := make(chan struct{})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("dtrd: listening on %s\n", ln.Addr())
+	if err := serveAndDrain(hs, ln, intake, sig); err != nil {
+		fatal(err)
+	}
+	fmt.Println("dtrd: bye")
+}
+
+// serveAndDrain serves until a signal arrives, then shuts down in two
+// stages: hs.Shutdown stops accepting connections and waits for
+// in-flight handlers (so every batch a handler accepted is queued by
+// the time it returns), and intake.Close then drains the queue so
+// every accepted event reaches the selector before the daemon exits —
+// the no-lost-events half of the /observe contract, bounded by the
+// same shutdown deadline. The soak test drives this exact path with a
+// mid-stream SIGTERM.
+func serveAndDrain(hs *http.Server, ln net.Listener, intake *repro.Intake, sig <-chan os.Signal) error {
+	done := make(chan struct{})
 	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer close(done)
 		s := <-sig
 		fmt.Printf("dtrd: %s received, shutting down\n", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -183,15 +214,15 @@ func main() {
 		if err := hs.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "dtrd: shutdown:", err)
 		}
-		close(idle)
+		if err := intake.Close(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "dtrd: intake drain:", err)
+		}
 	}()
-
-	fmt.Printf("dtrd: listening on %s\n", *listen)
-	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fatal(err)
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
 	}
-	<-idle
-	fmt.Println("dtrd: bye")
+	<-done
+	return nil
 }
 
 // replayDay drives the controller through every episode of the day:

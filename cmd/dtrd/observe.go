@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro"
+)
+
+const (
+	// maxObserveBatch caps the events accepted in one /observe request.
+	maxObserveBatch = 4096
+	// maxObserveBytes caps the /observe request body size.
+	maxObserveBytes = 16 << 20
+)
+
+// decodeObserveBody decodes an /observe request body: either a JSON
+// array of telemetry events (the batch form) or a single JSON event
+// object (the original form, kept for back-compat — it decodes exactly
+// as a one-element array would). Trailing data after the JSON value,
+// oversized bodies and oversized batches are rejected.
+func decodeObserveBody(r io.Reader) ([]repro.ControlEvent, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxObserveBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	if len(data) > maxObserveBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", maxObserveBytes)
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, errors.New("empty body")
+	}
+	if trimmed[0] == '[' {
+		var events []repro.ControlEvent
+		if err := json.Unmarshal(data, &events); err != nil {
+			return nil, fmt.Errorf("decode event batch: %w", err)
+		}
+		if len(events) > maxObserveBatch {
+			return nil, fmt.Errorf("batch of %d events exceeds the %d-event cap", len(events), maxObserveBatch)
+		}
+		return events, nil
+	}
+	var e repro.ControlEvent
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("decode event: %w", err)
+	}
+	return []repro.ControlEvent{e}, nil
+}

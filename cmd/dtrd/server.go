@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -20,12 +21,13 @@ import (
 // formatting, which is Go quoting rather than Prometheus escaping, is
 // gone).
 type server struct {
-	net   *repro.Network
-	lib   *repro.Library
-	ctrl  *repro.Controller
-	start time.Time
-	reg   *obsv.Registry
-	rt    *obsv.RuntimeMetrics
+	net    *repro.Network
+	lib    *repro.Library
+	ctrl   *repro.Controller
+	intake *repro.Intake
+	start  time.Time
+	reg    *obsv.Registry
+	rt     *obsv.RuntimeMetrics
 
 	applied *obsv.Counter
 
@@ -35,18 +37,23 @@ type server struct {
 }
 
 // newServer builds the daemon server on reg; a nil registry gets a
-// private one so the endpoints always work.
-func newServer(net *repro.Network, lib *repro.Library, ctrl *repro.Controller, reg *obsv.Registry) *server {
+// private one so the endpoints always work, and a nil intake gets one
+// with default bounds.
+func newServer(net *repro.Network, lib *repro.Library, ctrl *repro.Controller, intake *repro.Intake, reg *obsv.Registry) *server {
 	if reg == nil {
 		reg = obsv.NewRegistry()
 	}
+	if intake == nil {
+		intake = ctrl.NewIntake(repro.IntakeOptions{})
+	}
 	return &server{
-		net:   net,
-		lib:   lib,
-		ctrl:  ctrl,
-		start: time.Now(),
-		reg:   reg,
-		rt:    obsv.NewRuntimeMetrics(reg),
+		net:    net,
+		lib:    lib,
+		ctrl:   ctrl,
+		intake: intake,
+		start:  time.Now(),
+		reg:    reg,
+		rt:     obsv.NewRuntimeMetrics(reg),
 		applied: reg.Counter("dtrd_weight_changes_applied_total",
 			"Link weight rewrites applied via /apply."),
 	}
@@ -127,17 +134,43 @@ func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.ctrl.Advise())
 }
 
+// handleObserve admits telemetry into the async intake queue: the body
+// is one JSON event or an array of them, validated whole and then
+// queued — 202 means the batch was accepted and will reach the selector
+// in order; 429 + Retry-After means the queue is full and the whole
+// batch was shed (nothing partial ever happens); 400 rejects malformed
+// bodies before admission.
 func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
-	var e repro.ControlEvent
-	if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode event: %w", err))
-		return
-	}
-	if err := s.ctrl.Observe(e); err != nil {
+	r.Body = http.MaxBytesReader(w, r.Body, maxObserveBytes)
+	events, err := decodeObserveBody(r.Body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, map[string]string{"status": "ok"})
+	res, err := s.intake.Enqueue(events)
+	switch {
+	case errors.Is(err, repro.ErrIntakeFull):
+		secs := int(s.intake.RetryAfter().Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, repro.ErrIntakeClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   "accepted",
+		"accepted": res.Accepted,
+		"last_seq": res.LastSeq,
+	})
 }
 
 type planRequest struct {
@@ -185,6 +218,7 @@ func (s *server) handleApply(w http.ResponseWriter, r *http.Request) {
 // idempotent, so the scrape-time cost is a handful of map lookups.
 func (s *server) refreshStateMetrics() {
 	s.rt.Refresh()
+	s.intake.RefreshMetrics()
 	st := s.ctrl.State()
 	s.reg.Gauge("dtrd_uptime_seconds", "Daemon uptime.").
 		Set(time.Since(s.start).Seconds())

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -15,7 +17,14 @@ import (
 	"repro/internal/obsv"
 )
 
-func testServer(t *testing.T) (*httptest.Server, *repro.Library) {
+func testServer(t *testing.T) (*httptest.Server, *repro.Library, *repro.Intake) {
+	t.Helper()
+	return testServerIntake(t, repro.IntakeOptions{})
+}
+
+// testServerIntake builds the standard 8-node test daemon with an
+// intake tuned by opts (backpressure tests shrink the queue).
+func testServerIntake(t *testing.T, opts repro.IntakeOptions) (*httptest.Server, *repro.Library, *repro.Intake) {
 	t.Helper()
 	// Each test server owns a fresh registry installed as the process
 	// default, so engine-level metrics (spf, routing, ctrl) surface on
@@ -24,6 +33,18 @@ func testServer(t *testing.T) (*httptest.Server, *repro.Library) {
 	reg.EnableSpans(4096) // mirrors the daemon's -span-cap default
 	obsv.SetDefault(reg)
 	t.Cleanup(func() { obsv.SetDefault(nil) })
+	net, lib, ctrl := testEngine(t)
+	intake := ctrl.NewIntake(opts)
+	t.Cleanup(func() { intake.Close(context.Background()) })
+	ts := httptest.NewServer(newServer(net, lib, ctrl, intake, reg).mux())
+	t.Cleanup(ts.Close)
+	return ts, lib, intake
+}
+
+// testEngine builds the network, library and controller every daemon
+// test serves; the registry install is the caller's business.
+func testEngine(t *testing.T) (*repro.Network, *repro.Library, *repro.Controller) {
+	t.Helper()
 	net, err := repro.NewNetwork(repro.NetworkSpec{Topology: "rand", Nodes: 8, Links: 32, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -42,9 +63,7 @@ func testServer(t *testing.T) (*httptest.Server, *repro.Library) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(net, lib, ctrl, reg).mux())
-	t.Cleanup(ts.Close)
-	return ts, lib
+	return net, lib, ctrl
 }
 
 func getJSON(t *testing.T, url string, out any) {
@@ -74,7 +93,7 @@ func postJSON(t *testing.T, url string, body any, out any) int {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if out != nil && resp.StatusCode == http.StatusOK {
+	if out != nil && resp.StatusCode < 300 {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +102,7 @@ func postJSON(t *testing.T, url string, body any, out any) int {
 }
 
 func TestServerEndpoints(t *testing.T) {
-	ts, lib := testServer(t)
+	ts, lib, intake := testServer(t)
 
 	var health map[string]string
 	getJSON(t, ts.URL+"/healthz", &health)
@@ -101,10 +120,12 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("config %+v", cfg)
 	}
 
-	// Observe a failure; state must reflect it.
-	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 3}, nil); code != http.StatusOK {
+	// Observe a failure; after a quiesce (the intake is asynchronous —
+	// 202 means accepted, not yet applied) state must reflect it.
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 3}, nil); code != http.StatusAccepted {
 		t.Fatalf("observe returned %d", code)
 	}
+	intake.Quiesce()
 	var st repro.ControllerState
 	getJSON(t, ts.URL+"/state", &st)
 	if len(st.DownLinks) != 1 || st.DownLinks[0] != 3 {
@@ -129,9 +150,10 @@ func TestServerEndpoints(t *testing.T) {
 	}
 
 	// Recover and check metrics exposition.
-	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-up", Link: 3}, nil); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-up", Link: 3}, nil); code != http.StatusAccepted {
 		t.Fatalf("observe link-up returned %d", code)
 	}
+	intake.Quiesce()
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -153,6 +175,11 @@ func TestServerEndpoints(t *testing.T) {
 		`routing_session_dests_total{class="dag_only"}`,
 		`ctrl_observe_seconds_bucket{class="link",le="+Inf"}`,
 		`dtrd_http_request_seconds_bucket{path="/observe",le="+Inf"} 2`,
+		// Intake-pipeline metrics: both events were accepted and
+		// delivered, and the queue drained back to zero depth.
+		`ingest_events_total{result="accepted"} 2`,
+		"ingest_deliveries_total 2",
+		"ingest_queue_depth 0",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
@@ -199,7 +226,7 @@ func TestServerEndpoints(t *testing.T) {
 // deltas dedupe without fanning out, a base restore returns the exact
 // starting scores, and malformed deltas surface as 400s.
 func TestServerObserveDemandDelta(t *testing.T) {
-	ts, _ := testServer(t)
+	ts, _, intake := testServer(t)
 
 	var before repro.ControllerState
 	getJSON(t, ts.URL+"/state", &before)
@@ -208,9 +235,10 @@ func TestServerObserveDemandDelta(t *testing.T) {
 		DeltaT: &repro.DemandDelta{Entries: []repro.DemandDeltaEntry{
 			{S: 0, T: 2, New: 80}, {S: 5, T: 2, New: 40},
 		}}}
-	if code := postJSON(t, ts.URL+"/observe", surge, nil); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/observe", surge, nil); code != http.StatusAccepted {
 		t.Fatalf("observe demand-delta returned %d", code)
 	}
+	intake.Quiesce()
 	var st repro.ControllerState
 	getJSON(t, ts.URL+"/state", &st)
 	if st.Events != 1 {
@@ -221,18 +249,20 @@ func TestServerObserveDemandDelta(t *testing.T) {
 	}
 
 	// Restating the surged values is a no-op: no fan-out, no event.
-	if code := postJSON(t, ts.URL+"/observe", surge, nil); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/observe", surge, nil); code != http.StatusAccepted {
 		t.Fatalf("duplicate demand-delta returned %d", code)
 	}
+	intake.Quiesce()
 	getJSON(t, ts.URL+"/state", &st)
 	if st.Events != 1 {
 		t.Fatalf("duplicate delta counted: events = %d", st.Events)
 	}
 
 	// Restoring base traffic returns the exact starting scores.
-	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "demand-scale", Scale: 1}, nil); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "demand-scale", Scale: 1}, nil); code != http.StatusAccepted {
 		t.Fatalf("base restore returned %d", code)
 	}
+	intake.Quiesce()
 	getJSON(t, ts.URL+"/state", &st)
 	if st.Deployed != before.Deployed {
 		t.Fatalf("deployed evaluation did not return to base: %+v vs %+v", st.Deployed, before.Deployed)
@@ -253,7 +283,7 @@ func TestServerObserveDemandDelta(t *testing.T) {
 // goroutines; run under -race (CI does) this is the daemon's
 // concurrency acceptance test.
 func TestServerConcurrentRequests(t *testing.T) {
-	ts, lib := testServer(t)
+	ts, lib, intake := testServer(t)
 	const workers = 8
 	const iters = 12
 
@@ -272,7 +302,10 @@ func TestServerConcurrentRequests(t *testing.T) {
 		}
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
-	post := func(url string, body, out any) error {
+	post := func(url string, body, out any, ok ...int) error {
+		if len(ok) == 0 {
+			ok = []int{http.StatusOK}
+		}
 		data, err := json.Marshal(body)
 		if err != nil {
 			return err
@@ -282,7 +315,7 @@ func TestServerConcurrentRequests(t *testing.T) {
 			return err
 		}
 		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
+		if !slices.Contains(ok, resp.StatusCode) {
 			return fmt.Errorf("POST %s: %d", url, resp.StatusCode)
 		}
 		if out == nil {
@@ -291,6 +324,9 @@ func TestServerConcurrentRequests(t *testing.T) {
 		}
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
+	// Observes are asynchronous: 202 accepts the batch, 429 sheds it
+	// whole under backpressure. Both are correct daemon behavior here.
+	observeOK := []int{http.StatusAccepted, http.StatusTooManyRequests}
 
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -304,7 +340,7 @@ func TestServerConcurrentRequests(t *testing.T) {
 				if i%2 == 1 {
 					kind = "link-up"
 				}
-				if err := post(ts.URL+"/observe", repro.ControlEvent{Kind: kind, Link: link}, nil); err != nil {
+				if err := post(ts.URL+"/observe", repro.ControlEvent{Kind: kind, Link: link}, nil, observeOK...); err != nil {
 					errs <- err
 					continue
 				}
@@ -313,7 +349,7 @@ func TestServerConcurrentRequests(t *testing.T) {
 						DeltaT: &repro.DemandDelta{Entries: []repro.DemandDeltaEntry{
 							{S: k % 8, T: (k + 3) % 8, New: float64(10 + i)},
 						}}}
-					if err := post(ts.URL+"/observe", delta, nil); err != nil {
+					if err := post(ts.URL+"/observe", delta, nil, observeOK...); err != nil {
 						errs <- err
 						continue
 					}
@@ -351,5 +387,13 @@ func TestServerConcurrentRequests(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+
+	// After the hammering stops, the queue must drain completely and the
+	// admission ledger must balance: everything accepted was delivered.
+	intake.Quiesce()
+	st := intake.Stats()
+	if st.Depth != 0 || st.Accepted != st.Delivered {
+		t.Errorf("intake did not reconcile after drain: %+v", st)
 	}
 }

@@ -154,6 +154,10 @@ type ControlEvent struct {
 	// "demand-delta" event (nil = no change in that class), applied on
 	// top of the demand state currently in effect.
 	DeltaD, DeltaT *DemandDelta
+	// Label is an optional provenance tag (producer ID, sequence echo)
+	// carried through the intake pipeline to audit taps; it does not
+	// affect evaluation.
+	Label string
 }
 
 // Controller is the online control plane of one network: it tracks
@@ -204,27 +208,74 @@ func (n *Network) NewController(lib *Library) (*Controller, error) {
 
 // Observe folds one telemetry event into the controller.
 func (c *Controller) Observe(e ControlEvent) error {
+	ev, err := c.toEvent(e)
+	if err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.sel.Observe(ev)
+}
+
+// ObserveBatch folds an ordered batch of telemetry events into the
+// controller under one lock acquisition, collapsing runs of link
+// events into multi-link session updates. Validation is all-or-
+// nothing: a malformed event rejects the whole batch before any state
+// changes. The resulting state is bit-identical to calling Observe
+// once per event, in order.
+func (c *Controller) ObserveBatch(events []ControlEvent) error {
+	evs, err := c.toEvents(events)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sel.ObserveBatch(evs, 0, 0)
+}
+
+// toEvent converts one wire event to the engine's scenario event. It
+// holds no lock: it reads only the immutable base demand matrices, so
+// the intake queue can convert batches without serializing against
+// selector work.
+func (c *Controller) toEvent(e ControlEvent) (scenario.Event, error) {
 	switch e.Kind {
 	case "link-down":
-		return c.sel.Observe(scenario.Event{Kind: scenario.EventLinkDown, Link: e.Link})
+		return scenario.Event{Kind: scenario.EventLinkDown, Link: e.Link, Label: e.Label}, nil
 	case "link-up":
-		return c.sel.Observe(scenario.Event{Kind: scenario.EventLinkUp, Link: e.Link})
+		return scenario.Event{Kind: scenario.EventLinkUp, Link: e.Link, Label: e.Label}, nil
 	case "demand-scale":
 		if e.Scale < 0 {
-			return fmt.Errorf("repro: negative demand scale %g", e.Scale)
+			return scenario.Event{}, fmt.Errorf("repro: negative demand scale %g", e.Scale)
 		}
-		ev := scenario.Event{Kind: scenario.EventDemand}
+		ev := scenario.Event{Kind: scenario.EventDemand, Label: e.Label}
 		if e.Scale != 0 && e.Scale != 1 {
 			ev.DemD = c.net.demD.Clone().Scale(e.Scale)
 			ev.DemT = c.net.demT.Clone().Scale(e.Scale)
 		}
-		return c.sel.Observe(ev)
+		return ev, nil
 	case "demand-delta":
-		return c.sel.Observe(scenario.Event{Kind: scenario.EventDemandDelta, DeltaD: e.DeltaD, DeltaT: e.DeltaT})
+		return scenario.Event{Kind: scenario.EventDemandDelta, DeltaD: e.DeltaD, DeltaT: e.DeltaT, Label: e.Label}, nil
 	}
-	return fmt.Errorf("repro: unknown event kind %q (link-down|link-up|demand-scale|demand-delta)", e.Kind)
+	return scenario.Event{}, fmt.Errorf("repro: unknown event kind %q (link-down|link-up|demand-scale|demand-delta)", e.Kind)
+}
+
+// toEvents converts and validates a whole batch without observing it,
+// so admission (the intake queue) can reject malformed batches before
+// they are queued. Selector.Validate reads only immutable shape state,
+// so this too runs without the controller lock.
+func (c *Controller) toEvents(events []ControlEvent) ([]scenario.Event, error) {
+	evs := make([]scenario.Event, len(events))
+	for i, e := range events {
+		ev, err := c.toEvent(e)
+		if err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		if err := c.sel.Validate(ev); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		evs[i] = ev
+	}
+	return evs, nil
 }
 
 // ReplayEpisode replays scenario i of the set as telemetry: its onset

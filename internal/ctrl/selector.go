@@ -132,6 +132,147 @@ func (s *Selector) Mask() *graph.Mask {
 // effect, deltas restating current values — are deduplicated here and
 // never fan out to the k sessions.
 func (s *Selector) Observe(e scenario.Event) error {
+	return s.observe(e, 0, 0)
+}
+
+// Validate checks an event's shape against the network — link index in
+// range, demand matrices sized to the node count, delta entries valid —
+// without touching any state. ObserveBatch validates a whole batch
+// upfront so a malformed event aborts before any mutation.
+func (s *Selector) Validate(e scenario.Event) error {
+	n := s.ev.Graph().NumNodes()
+	switch e.Kind {
+	case scenario.EventLinkDown, scenario.EventLinkUp:
+		if e.Link < 0 || e.Link >= len(s.down) {
+			return fmt.Errorf("ctrl: link %d out of range [0,%d)", e.Link, len(s.down))
+		}
+	case scenario.EventDemand:
+		if e.DemD != nil && e.DemD.Size() != n {
+			return fmt.Errorf("ctrl: demand matrix size %d does not match %d nodes", e.DemD.Size(), n)
+		}
+		if e.DemT != nil && e.DemT.Size() != n {
+			return fmt.Errorf("ctrl: demand matrix size %d does not match %d nodes", e.DemT.Size(), n)
+		}
+	case scenario.EventDemandDelta:
+		if err := e.DeltaD.Validate(n); err != nil {
+			return fmt.Errorf("ctrl: %w", err)
+		}
+		if err := e.DeltaT.Validate(n); err != nil {
+			return fmt.Errorf("ctrl: %w", err)
+		}
+	default:
+		return fmt.Errorf("ctrl: unknown event kind %d", e.Kind)
+	}
+	return nil
+}
+
+// ObserveBatch folds an ordered batch of telemetry events into every
+// candidate session, validating the whole batch before any mutation
+// (all-or-nothing on malformed input). Runs of consecutive link events
+// collapse into one SetLinkStates fan-out per candidate (one
+// classification + one multi-link repair pass per affected
+// destination); demand events flush any pending links first and then
+// take the same incremental paths as Observe, so the final selector
+// and session state is bit-identical to observing the events one at a
+// time, in order. The trace/parent span IDs (zero when untraced) root
+// the batch's spans under the caller's trace — the ingest delivery
+// span, for batches arriving through internal/ingest.
+func (s *Selector) ObserveBatch(events []scenario.Event, trace, parent uint64) error {
+	for i := range events {
+		if err := s.Validate(events[i]); err != nil {
+			return fmt.Errorf("ctrl: batch event %d: %w", i, err)
+		}
+	}
+	switch len(events) {
+	case 0:
+		return nil
+	case 1:
+		return s.observe(events[0], trace, parent)
+	}
+	m := met.Get()
+	var batchSpan *obsv.Span
+	if m != nil {
+		batchSpan = m.reg.Spans().StartAt("observe.batch", trace, parent)
+		batchSpan.SetAttr("events", int64(len(events)))
+		trace, parent = batchSpan.TraceID(), batchSpan.ID()
+	}
+	pend := events[:0:0]
+	for i := range events {
+		e := events[i]
+		if e.Kind == scenario.EventLinkDown || e.Kind == scenario.EventLinkUp {
+			pend = append(pend, e)
+			continue
+		}
+		s.flushLinks(m, pend, trace, parent)
+		pend = pend[:0]
+		if err := s.observe(e, trace, parent); err != nil {
+			batchSpan.End()
+			return err
+		}
+	}
+	s.flushLinks(m, pend, trace, parent)
+	batchSpan.End()
+	return nil
+}
+
+// flushLinks applies a run of link events as one SetLinkStates fan-out
+// per candidate. Events restating the already-observed link state
+// deduplicate exactly as the sequential path would, and the Events
+// counter advances by the number of effective transitions; a run of
+// one routes through the single-event path (class "link").
+func (s *Selector) flushLinks(m *metrics, pend []scenario.Event, trace, parent uint64) {
+	switch len(pend) {
+	case 0:
+		return
+	case 1:
+		s.observe(pend[0], trace, parent) // pre-validated: cannot fail
+		return
+	}
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	changes := make([]routing.LinkStateChange, 0, len(pend))
+	eff := 0
+	for _, e := range pend {
+		up := e.Kind == scenario.EventLinkUp
+		if s.down[e.Link] != up {
+			if m != nil {
+				m.dedupLink.Inc()
+			}
+			continue // already in the observed state
+		}
+		s.down[e.Link] = !up
+		if up {
+			s.ndown--
+		} else {
+			s.ndown++
+		}
+		eff++
+		changes = append(changes, routing.LinkStateChange{Link: e.Link, Up: up})
+	}
+	if eff == 0 {
+		return
+	}
+	s.events += eff
+	root := s.beginObserve(m, "observe.link_batch", trace, parent)
+	root.SetAttr("links", int64(len(changes)))
+	s.each(func(ses *routing.Session) { ses.SetLinkStates(changes) })
+	root.End()
+	if m != nil {
+		dur := time.Since(t0)
+		m.observeLinkBatch.Observe(dur.Seconds())
+		msg := fmt.Sprintf("link batch (%d changes, down links: %d) trace=%d", len(changes), s.ndown, s.lastTrace)
+		m.trace.Record("observe", msg)
+		s.maybeFlight(m, "observe", msg, dur)
+	}
+}
+
+// observe is Observe with an explicit span context: trace/parent root
+// this event's spans under a caller-owned trace (the ingest delivery
+// span, the enclosing observe.batch span); both zero starts a fresh
+// trace per event, which is the Observe behavior.
+func (s *Selector) observe(e scenario.Event, trace, parent uint64) error {
 	m := met.Get()
 	var t0 time.Time
 	if m != nil {
@@ -156,7 +297,7 @@ func (s *Selector) Observe(e scenario.Event) error {
 		} else {
 			s.ndown++
 		}
-		root := s.beginObserve(m, "observe.link")
+		root := s.beginObserve(m, "observe.link", trace, parent)
 		root.SetAttr("link", int64(e.Link))
 		if up {
 			root.SetAttr("up", 1)
@@ -186,7 +327,7 @@ func (s *Selector) Observe(e scenario.Event) error {
 		}
 		s.demD, s.demT = e.DemD, e.DemT
 		s.ownsDemD, s.ownsDemT = false, false
-		root := s.beginObserve(m, "observe.demand")
+		root := s.beginObserve(m, "observe.demand", trace, parent)
 		s.each(func(ses *routing.Session) { ses.SetDemands(e.DemD, e.DemT) })
 		root.End()
 		if m != nil {
@@ -225,7 +366,7 @@ func (s *Selector) Observe(e scenario.Event) error {
 			}
 			s.demT.ApplyDelta(e.DeltaT)
 		}
-		root := s.beginObserve(m, "observe.demand_delta")
+		root := s.beginObserve(m, "observe.demand_delta", trace, parent)
 		root.SetAttr("entries", int64(e.DeltaD.Len()+e.DeltaT.Len()))
 		s.each(func(ses *routing.Session) { ses.ApplyDemandDelta(e.DeltaD, e.DeltaT) })
 		root.End()
@@ -251,13 +392,14 @@ func (s *Selector) TraceContext() (trace, root uint64) { return s.lastTrace, s.l
 
 // beginObserve opens the root span of one effective (non-deduplicated)
 // telemetry event and points every candidate session's span context at
-// it, so the whole fan-out lands in one trace. Returns nil when spans
-// are disabled.
-func (s *Selector) beginObserve(m *metrics, name string) *obsv.Span {
+// it, so the whole fan-out lands in one trace. With a nonzero
+// trace/parent the span joins the caller's trace instead of rooting a
+// fresh one. Returns nil when spans are disabled.
+func (s *Selector) beginObserve(m *metrics, name string, trace, parent uint64) *obsv.Span {
 	if m == nil {
 		return nil
 	}
-	root := m.reg.Spans().Start(name)
+	root := m.reg.Spans().StartAt(name, trace, parent)
 	if root == nil {
 		return nil
 	}

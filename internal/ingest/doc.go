@@ -1,0 +1,15 @@
+// Package ingest decouples telemetry intake from selector work: a
+// bounded asynchronous queue admits batches of scenario events
+// all-or-nothing (shedding whole batches with an explicit backpressure
+// error when full), a single delivery goroutine drains the queue in
+// batches, and a coalescer collapses superseded link flaps (last-wins
+// per link) and merges demand deltas per (source, destination) pair
+// before the batch reaches the selector's SetLinkStates /
+// ApplyDemandDelta fan-out paths.
+//
+// Coalescing is safe because session results are pure functions of the
+// final (weights, mask, demands) state: any event stream reaching the
+// same final state yields bit-identical results (see DESIGN.md
+// "High-rate ingestion" for the invariants, and the randomized
+// equivalence tests in this package for the proof).
+package ingest

@@ -1,0 +1,45 @@
+package ingest
+
+import "repro/internal/obsv"
+
+// metrics is the package's handle bundle against the default obsv
+// registry; met.Get() is nil (one atomic load) while telemetry is off.
+type metrics struct {
+	reg         *obsv.Registry // for live Spans() lookups
+	depth       *obsv.Gauge
+	oldest      *obsv.Gauge
+	accepted    *obsv.Counter
+	shed        *obsv.Counter
+	coalLink    *obsv.Counter
+	coalDemand  *obsv.Counter
+	coalDelta   *obsv.Counter
+	deliveries  *obsv.Counter
+	batchEvents *obsv.Histogram
+	queueWait   *obsv.Histogram
+	sinkErrors  *obsv.Counter
+}
+
+var met = obsv.NewView(func(r *obsv.Registry) *metrics {
+	const admitHelp = "Telemetry events offered to the intake queue, by admission result."
+	const coalHelp = "Events removed by the delivery coalescer, by event class."
+	return &metrics{
+		reg: r,
+		depth: r.Gauge("ingest_queue_depth",
+			"Telemetry events queued in the intake, awaiting delivery."),
+		oldest: r.Gauge("ingest_oldest_wait_seconds",
+			"Age of the oldest queued event (0 when the queue is empty); refreshed at scrape."),
+		accepted:   r.Counter("ingest_events_total", admitHelp, obsv.L("result", "accepted")),
+		shed:       r.Counter("ingest_events_total", admitHelp, obsv.L("result", "shed")),
+		coalLink:   r.Counter("ingest_coalesced_events_total", coalHelp, obsv.L("class", "link")),
+		coalDemand: r.Counter("ingest_coalesced_events_total", coalHelp, obsv.L("class", "demand")),
+		coalDelta:  r.Counter("ingest_coalesced_events_total", coalHelp, obsv.L("class", "demand_delta")),
+		deliveries: r.Counter("ingest_deliveries_total",
+			"Batches delivered from the intake queue to the selector."),
+		batchEvents: r.Histogram("ingest_delivery_events",
+			"Events per delivered batch, before coalescing.", obsv.SizeBuckets),
+		queueWait: r.Histogram("ingest_queue_wait_seconds",
+			"Enqueue-to-delivery wait of the oldest event in each delivered batch.", obsv.LatencyBuckets),
+		sinkErrors: r.Counter("ingest_sink_errors_total",
+			"Delivered batches rejected by the selector sink."),
+	}
+})

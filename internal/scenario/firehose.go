@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// FirehoseConfig controls Firehose rendering.
+type FirehoseConfig struct {
+	// BatchEvents is the number of events per batch (default 256).
+	BatchEvents int
+	// Tick spaces consecutive batch timestamps (default 10ms).
+	Tick time.Duration
+	// Repeat is the number of passes over the episode list (default 1);
+	// each pass replays every episode to completion, so the stream
+	// returns to the base state at the end of every pass.
+	Repeat int
+	// Seed drives the per-pass episode shuffle. The rendering is
+	// deterministic in (set, config).
+	Seed int64
+}
+
+// TimedBatch is one batch of a firehose stream, stamped with its replay
+// offset from stream start.
+type TimedBatch struct {
+	At     time.Duration
+	Events []Event
+}
+
+// Firehose renders a scenario set as a sustained telemetry stream: the
+// set's episodes (onset followed by recovery, so every episode heals)
+// are concatenated in a seeded shuffled order, Repeat times, and
+// chunked into timed batches of BatchEvents events. Batch boundaries
+// deliberately cut across episodes, so one batch routinely carries a
+// flap and its recovery, or a surge delta and its inverse — exactly the
+// superseded-event patterns an ingestion coalescer must collapse.
+// Replaying all batches in order returns the consumer to the base
+// state. The rendering is deterministic: same graph, set and config,
+// same batches.
+func Firehose(g *graph.Graph, set Set, cfg FirehoseConfig) []TimedBatch {
+	if cfg.BatchEvents <= 0 {
+		cfg.BatchEvents = 256
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 10 * time.Millisecond
+	}
+	if cfg.Repeat <= 0 {
+		cfg.Repeat = 1
+	}
+	eps := Episodes(g, set)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var stream []Event
+	for pass := 0; pass < cfg.Repeat; pass++ {
+		for _, i := range rng.Perm(len(eps)) {
+			stream = append(stream, eps[i].Onset...)
+			stream = append(stream, eps[i].Recovery...)
+		}
+	}
+	var out []TimedBatch
+	for start := 0; start < len(stream); start += cfg.BatchEvents {
+		end := min(start+cfg.BatchEvents, len(stream))
+		out = append(out, TimedBatch{
+			At:     time.Duration(len(out)) * cfg.Tick,
+			Events: stream[start:end:end],
+		})
+	}
+	return out
+}

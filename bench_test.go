@@ -9,6 +9,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/ctrl"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/graph"
 	"repro/internal/ingest"
 	"repro/internal/obsv"
@@ -731,7 +733,12 @@ func BenchmarkSelectorAdviseSpans(b *testing.B) {
 // batch path. events_per_sec is the sustained intake throughput; the
 // benchgate tracks the Batched/PerEvent ratio staying >= 5x.
 
-func benchFirehose(b *testing.B) (*ctrl.Selector, []scenario.TimedBatch, int) {
+// benchFirehoseLibrary builds the firehose pair's 4-candidate library
+// on a fresh copy of the standard evaluator. Every call uses the same
+// seeds, so repeated calls produce bit-identical controllers — the
+// fleet pair below relies on that to give each shard its own state
+// while replaying one shared stream.
+func benchFirehoseLibrary(b *testing.B) (*routing.Evaluator, *ctrl.Library) {
 	b.Helper()
 	ev, _ := benchEvaluator(b, 30, 180)
 	rng := rand.New(rand.NewSource(2))
@@ -743,10 +750,14 @@ func benchFirehose(b *testing.B) (*ctrl.Selector, []scenario.TimedBatch, int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sel, err := ctrl.NewSelector(ev, lib)
-	if err != nil {
-		b.Fatal(err)
-	}
+	return ev, lib
+}
+
+// benchFirehoseStream renders the telemetry stream both ingestion
+// benchmarks replay: every scenario of a failure+surge day as
+// onset/recovery episodes, shuffled and chunked into 256-event batches.
+func benchFirehoseStream(b *testing.B, ev *routing.Evaluator) ([]scenario.TimedBatch, int) {
+	b.Helper()
 	g := ev.Graph()
 	set := scenario.Merge("firehose",
 		scenario.SingleLinkFailures(g),
@@ -757,6 +768,17 @@ func benchFirehose(b *testing.B) (*ctrl.Selector, []scenario.TimedBatch, int) {
 	for _, tb := range batches {
 		total += len(tb.Events)
 	}
+	return batches, total
+}
+
+func benchFirehose(b *testing.B) (*ctrl.Selector, []scenario.TimedBatch, int) {
+	b.Helper()
+	ev, lib := benchFirehoseLibrary(b)
+	sel, err := ctrl.NewSelector(ev, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches, total := benchFirehoseStream(b, ev)
 	return sel, batches, total
 }
 
@@ -799,4 +821,69 @@ func BenchmarkFirehose(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
+}
+
+// --- Fleet scaling: the sharded-intake pair ---------------------------
+//
+// Both variants replay the shared firehose stream through fleet shards
+// (each shard = its own controller + intake queue + delivery
+// goroutine). 1Network is the single-shard baseline — every batch
+// lands on one controller, so it measures the fleet layer's overhead
+// over the bare intake queue. 4Networks splits the same stream
+// round-robin across four shards whose controllers are bit-identical
+// copies of the baseline's, so the pair isolates how intake throughput
+// scales with shard count: deliveries coalesce and fold concurrently,
+// one delivery loop per shard. events_per_sec is the sustained fleet
+// intake rate; the benchgate tracks both variants' ns/op.
+
+func benchFleetCoordinator(b *testing.B, networks int) (*fleet.Coordinator, []string) {
+	b.Helper()
+	cfgs := make([]fleet.ShardConfig, networks)
+	names := make([]string, networks)
+	for i := range cfgs {
+		ev, lib := benchFirehoseLibrary(b)
+		names[i] = fmt.Sprintf("net%d", i)
+		cfgs[i] = fleet.ShardConfig{
+			Network:  names[i],
+			Factory:  func() (*fleet.Controller, error) { return fleet.NewController(ev, lib) },
+			Capacity: 1 << 20,
+			MaxBatch: 1024,
+		}
+	}
+	co, err := fleet.NewCoordinator(cfgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return co, names
+}
+
+func benchFleetObserve(b *testing.B, networks int) {
+	co, names := benchFleetCoordinator(b, networks)
+	defer co.Close(context.Background())
+	ev, _ := benchEvaluator(b, 30, 180)
+	batches, total := benchFirehoseStream(b, ev)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		for j, tb := range batches {
+			if _, err := co.Enqueue(names[j%networks], tb.Events); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, name := range names {
+			s, err := co.Shard(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Quiesce() // every accepted event reaches its controller
+		}
+	}
+	if d := time.Since(start).Seconds(); d > 0 {
+		b.ReportMetric(float64(b.N*total)/d, "events_per_sec")
+	}
+}
+
+func BenchmarkFleetObserve(b *testing.B) {
+	b.Run("1Network", func(b *testing.B) { benchFleetObserve(b, 1) })
+	b.Run("4Networks", func(b *testing.B) { benchFleetObserve(b, 4) })
 }

@@ -13,37 +13,24 @@ import (
 )
 
 // debugServer is testServer with parallel candidate sessions (so worker
-// task spans appear) and handles on the registry and intake.
-func debugServer(t *testing.T) (*httptest.Server, *obsv.Registry, *repro.Intake) {
+// task spans appear) and handles on the registry and fleet.
+func debugServer(t *testing.T) (*httptest.Server, *obsv.Registry, *repro.Fleet) {
 	t.Helper()
 	reg := obsv.NewRegistry()
 	reg.EnableSpans(4096)
 	obsv.SetDefault(reg)
 	t.Cleanup(func() { obsv.SetDefault(nil) })
-	net, err := repro.NewNetwork(repro.NetworkSpec{Topology: "rand", Nodes: 8, Links: 32, Seed: 3})
+	nw, lib := testEngine(t)
+	f, err := repro.NewFleet(
+		[]repro.FleetMember{{Name: "net0", Net: nw, Library: lib}},
+		repro.FleetOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	set, err := net.MergeScenarios("day",
-		net.DualLinkFailureScenarios(4, 5),
-		net.HotspotSurgeScenarios(true, 2, 7))
-	if err != nil {
-		t.Fatal(err)
-	}
-	lib, err := net.BuildLibrary(set, repro.LibraryOptions{Size: 2, Budget: "quick", Seed: 9})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctrl, err := net.NewController(lib)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctrl.SetParallelism(2)
-	intake := ctrl.NewIntake(repro.IntakeOptions{})
-	t.Cleanup(func() { intake.Close(context.Background()) })
-	ts := httptest.NewServer(newServer(net, lib, ctrl, intake, reg).mux())
+	t.Cleanup(func() { f.Close(context.Background()) })
+	ts := httptest.NewServer(newServer(f, []member{{name: "net0", net: nw, lib: lib}}, 0, reg).mux())
 	t.Cleanup(ts.Close)
-	return ts, reg, intake
+	return ts, reg, f
 }
 
 type spansPayload struct {
@@ -60,12 +47,12 @@ type spansPayload struct {
 // and worker task spans — retrievable from /debug/spans, filterable by
 // trace.
 func TestDebugSpansLinkFlap(t *testing.T) {
-	ts, _, intake := debugServer(t)
+	ts, _, f := debugServer(t)
 
 	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 3}, nil); code != http.StatusAccepted {
 		t.Fatalf("observe returned %d", code)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	var adv repro.Advice
 	getJSON(t, ts.URL+"/advise", &adv)
 
@@ -152,11 +139,11 @@ func TestDebugSpansLinkFlap(t *testing.T) {
 // TestDebugChromeTraceExport exports the flap trace as Chrome
 // trace-event JSON and lints it.
 func TestDebugChromeTraceExport(t *testing.T) {
-	ts, _, intake := debugServer(t)
+	ts, _, f := debugServer(t)
 	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 5}, nil); code != http.StatusAccepted {
 		t.Fatalf("observe returned %d", code)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	resp, err := http.Get(ts.URL + "/debug/trace.chrome")
 	if err != nil {
 		t.Fatal(err)
@@ -177,12 +164,12 @@ func TestDebugChromeTraceExport(t *testing.T) {
 // TestDebugFlightRecorder forces a latency capture by dropping the
 // threshold to 1ns, then checks /debug/flightrec carries the span dump.
 func TestDebugFlightRecorder(t *testing.T) {
-	ts, reg, intake := debugServer(t)
+	ts, reg, f := debugServer(t)
 	reg.Flight().SetLatencyThreshold(time.Nanosecond)
 	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 7}, nil); code != http.StatusAccepted {
 		t.Fatalf("observe returned %d", code)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	var fr struct {
 		Total       uint64 `json:"total"`
 		Retained    int    `json:"retained"`
@@ -223,7 +210,7 @@ func TestDebugFlightRecorder(t *testing.T) {
 
 // TestDebugTraceFilters exercises ?kind= and ?since= on /debug/trace.
 func TestDebugTraceFilters(t *testing.T) {
-	ts, _, intake := debugServer(t)
+	ts, _, f := debugServer(t)
 	for i, link := range []int{1, 2, 1, 2} {
 		kind := "link-down"
 		if i >= 2 {
@@ -235,7 +222,7 @@ func TestDebugTraceFilters(t *testing.T) {
 		// Quiesce between posts so each flap is delivered on its own
 		// (back-to-back posts may otherwise share one coalesced
 		// delivery) and the trace records four observe events.
-		intake.Quiesce()
+		f.QuiesceAll()
 	}
 	getJSON(t, ts.URL+"/advise", new(map[string]any))
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -35,7 +36,7 @@ func postRaw(t *testing.T, url, body string) *http.Response {
 // a monotonic last_seq, and after a quiesce the state reflects every
 // event in order.
 func TestObserveBatchEndpoint(t *testing.T) {
-	ts, _, intake := testServer(t)
+	ts, _, f := testServer(t)
 
 	batch := []repro.ControlEvent{
 		{Kind: "link-down", Link: 3},
@@ -53,7 +54,7 @@ func TestObserveBatchEndpoint(t *testing.T) {
 	if ack.Status != "accepted" || ack.Accepted != 3 || ack.LastSeq != 3 {
 		t.Fatalf("ack %+v", ack)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	var st repro.ControllerState
 	getJSON(t, ts.URL+"/state", &st)
 	if len(st.DownLinks) != 1 || st.DownLinks[0] != 5 {
@@ -67,7 +68,7 @@ func TestObserveBatchEndpoint(t *testing.T) {
 	if ack.Accepted != 1 || ack.LastSeq != 4 {
 		t.Fatalf("second ack %+v", ack)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 
 	// A malformed event anywhere rejects the whole batch: nothing is
 	// admitted and the selector never sees the valid prefix.
@@ -78,12 +79,12 @@ func TestObserveBatchEndpoint(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/observe", bad, nil); code != http.StatusBadRequest {
 		t.Fatalf("malformed batch returned %d", code)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	getJSON(t, ts.URL+"/state", &st)
 	if len(st.DownLinks) != 0 {
 		t.Fatalf("rejected batch mutated state: %+v", st)
 	}
-	if s := intake.Stats(); s.Accepted != 4 || s.Shed != 0 {
+	if s := intakeStats(f); s.Accepted != 4 || s.Shed != 0 {
 		t.Fatalf("stats %+v after rejected batch", s)
 	}
 }
@@ -93,9 +94,9 @@ func TestObserveBatchEndpoint(t *testing.T) {
 // counters reconcile exactly with what was offered, and the depth gauge
 // returns to zero once the queue drains.
 func TestObserveBackpressure429(t *testing.T) {
-	ts, _, intake := testServerIntake(t, repro.IntakeOptions{Capacity: 4, RetryAfter: 3 * time.Second})
+	ts, _, f := testServerIntake(t, repro.IntakeOptions{Capacity: 4, RetryAfter: 3 * time.Second})
 
-	intake.Pause() // deliveries held: queue depth is fully deterministic
+	f.Pause("") // deliveries held: queue depth is fully deterministic
 	ev := func(link int, kind string) repro.ControlEvent { return repro.ControlEvent{Kind: kind, Link: link} }
 
 	if code := postJSON(t, ts.URL+"/observe", ev(0, "link-down"), nil); code != http.StatusAccepted {
@@ -124,7 +125,7 @@ func TestObserveBackpressure429(t *testing.T) {
 	}
 
 	// The admission ledger reconciles exactly: 11 offered = 4 + 1 + 6.
-	st := intake.Stats()
+	st := intakeStats(f)
 	if st.Accepted != 4 || st.Shed != 7 || st.Depth != 4 {
 		t.Fatalf("stats %+v", st)
 	}
@@ -140,9 +141,9 @@ func TestObserveBackpressure429(t *testing.T) {
 	}
 
 	// Drain: depth gauge returns to zero and admission recovers.
-	intake.Resume()
-	intake.Quiesce()
-	st = intake.Stats()
+	f.Resume("")
+	f.QuiesceAll()
+	st = intakeStats(f)
 	if st.Depth != 0 || st.Delivered != st.Accepted {
 		t.Fatalf("post-drain stats %+v", st)
 	}
@@ -192,7 +193,7 @@ func TestObserveLegacySingleEvent(t *testing.T) {
 	}
 
 	// Daemon level: the original wire form still works end to end.
-	ts, _, intake := testServer(t)
+	ts, _, f := testServer(t)
 	resp := postRaw(t, ts.URL+"/observe", `{"kind":"link-down","link":7}`)
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
@@ -209,7 +210,7 @@ func TestObserveLegacySingleEvent(t *testing.T) {
 	if ack.Accepted != 1 || ack.LastSeq != 1 {
 		t.Fatalf("legacy ack %+v", ack)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	var st repro.ControllerState
 	getJSON(t, ts.URL+"/state", &st)
 	if len(st.DownLinks) != 1 || st.DownLinks[0] != 7 {
@@ -237,22 +238,27 @@ func TestServerSoakDrainOnSIGTERM(t *testing.T) {
 	reg := obsv.NewRegistry()
 	obsv.SetDefault(reg)
 	t.Cleanup(func() { obsv.SetDefault(nil) })
-	nw, lib, ctrl := testEngine(t)
+	nw, lib := testEngine(t)
 
 	var tapMu sync.Mutex
 	delivered := map[string]int{}
-	intake := ctrl.NewIntake(repro.IntakeOptions{
-		Capacity: 512,
-		MaxBatch: 64,
-		Tap: func(labels []string) {
+	f, err := repro.NewFleet([]repro.FleetMember{{
+		Name: "net0", Net: nw, Library: lib,
+		IntakeTap: func(labels []string) {
 			tapMu.Lock()
 			for _, l := range labels {
 				delivered[l]++
 			}
 			tapMu.Unlock()
 		},
-	})
-	srv := newServer(nw, lib, ctrl, intake, reg)
+	}}, repro.FleetOptions{Intake: repro.IntakeOptions{
+		Capacity: 512,
+		MaxBatch: 64,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(f, []member{{name: "net0", net: nw, lib: lib}}, 0, reg)
 	hs := &http.Server{Handler: srv.mux()}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -262,7 +268,7 @@ func TestServerSoakDrainOnSIGTERM(t *testing.T) {
 	signal.Notify(sig, syscall.SIGTERM)
 	defer signal.Stop(sig)
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- serveAndDrain(hs, ln, intake, sig) }()
+	go func() { serveErr <- serveAndDrain(hs, ln, f, sig) }()
 	base := "http://" + ln.Addr().String()
 
 	const producers = 6
@@ -347,10 +353,10 @@ func TestServerSoakDrainOnSIGTERM(t *testing.T) {
 	wg.Wait()
 
 	// Post-shutdown: admission is closed and the queue fully drained.
-	if _, err := intake.Enqueue([]repro.ControlEvent{{Kind: "link-down", Link: 1}}); err != repro.ErrIntakeClosed {
+	if _, err := f.Enqueue([]repro.ControlEvent{{Kind: "link-down", Link: 1}}); !errors.Is(err, repro.ErrIntakeClosed) {
 		t.Fatalf("post-shutdown Enqueue err = %v, want ErrIntakeClosed", err)
 	}
-	st := intake.Stats()
+	st := intakeStats(f)
 	if st.Depth != 0 || st.Accepted != st.Delivered {
 		t.Fatalf("intake did not drain: %+v", st)
 	}

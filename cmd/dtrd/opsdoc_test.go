@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// opsDocCells parses docs/OPERATIONS.md and returns the backticked
+// first-cell contents of every table row in the section titled want
+// (an H2 header).
+func opsDocCells(t *testing.T, want string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := regexp.MustCompile("^`([^`]+)`$")
+	section := ""
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if after, ok := strings.CutPrefix(line, "## "); ok {
+			section = after
+			continue
+		}
+		if section != want || !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 3 {
+			continue
+		}
+		m := cell.FindStringSubmatch(strings.TrimSpace(cells[1]))
+		if m == nil {
+			continue // header/divider rows
+		}
+		if out[m[1]] {
+			t.Fatalf("%s documents %q twice", want, m[1])
+		}
+		out[m[1]] = true
+	}
+	if len(out) == 0 {
+		t.Fatalf("no table rows found in OPERATIONS.md section %q", want)
+	}
+	return out
+}
+
+// TestOperationsGuideCoversAllFlags diffs the daemon's flag set against
+// the operator guide's flag table, both directions: every defined flag
+// must be documented and every documented flag must exist.
+func TestOperationsGuideCoversAllFlags(t *testing.T) {
+	documented := opsDocCells(t, "Flags")
+
+	fs := flag.NewFlagSet("dtrd", flag.ContinueOnError)
+	defineFlags(fs)
+	defined := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { defined["-"+f.Name] = true })
+
+	for name := range defined {
+		if !documented[name] {
+			t.Errorf("flag %s is not documented in docs/OPERATIONS.md", name)
+		}
+	}
+	for name := range documented {
+		if !defined[name] {
+			t.Errorf("docs/OPERATIONS.md documents flag %s but dtrd does not define it", name)
+		}
+	}
+}
+
+// TestOperationsGuideCoversAllEndpoints diffs the route table against
+// the operator guide's endpoint table, both directions.
+func TestOperationsGuideCoversAllEndpoints(t *testing.T) {
+	documented := opsDocCells(t, "HTTP API")
+
+	served := map[string]bool{}
+	for _, rt := range routeTable {
+		served[rt.method+" "+rt.pattern] = true
+	}
+
+	for ep := range served {
+		if !documented[ep] {
+			t.Errorf("endpoint %s is not documented in docs/OPERATIONS.md", ep)
+		}
+	}
+	for ep := range documented {
+		if !served[ep] {
+			t.Errorf("docs/OPERATIONS.md documents %s but the daemon does not serve it", ep)
+		}
+	}
+}

@@ -62,11 +62,11 @@ func readmeMetricFamilies(t *testing.T) map[string]bool {
 func TestReadmeMetricsTableMatchesRegistry(t *testing.T) {
 	documented := readmeMetricFamilies(t)
 
-	ts, _, intake := testServer(t)
+	ts, _, f := testServer(t)
 	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 3}, nil); code != 202 {
 		t.Fatalf("observe returned %d", code)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	getJSON(t, ts.URL+"/advise", new(map[string]any))
 
 	var snap obsv.Snapshot

@@ -17,14 +17,15 @@ import (
 	"repro/internal/obsv"
 )
 
-func testServer(t *testing.T) (*httptest.Server, *repro.Library, *repro.Intake) {
+func testServer(t *testing.T) (*httptest.Server, *repro.Library, *repro.Fleet) {
 	t.Helper()
 	return testServerIntake(t, repro.IntakeOptions{})
 }
 
-// testServerIntake builds the standard 8-node test daemon with an
-// intake tuned by opts (backpressure tests shrink the queue).
-func testServerIntake(t *testing.T, opts repro.IntakeOptions) (*httptest.Server, *repro.Library, *repro.Intake) {
+// testServerIntake builds the standard single-network 8-node test
+// daemon with the shard's intake tuned by opts (backpressure tests
+// shrink the queue).
+func testServerIntake(t *testing.T, opts repro.IntakeOptions) (*httptest.Server, *repro.Library, *repro.Fleet) {
 	t.Helper()
 	// Each test server owns a fresh registry installed as the process
 	// default, so engine-level metrics (spf, routing, ctrl) surface on
@@ -33,17 +34,22 @@ func testServerIntake(t *testing.T, opts repro.IntakeOptions) (*httptest.Server,
 	reg.EnableSpans(4096) // mirrors the daemon's -span-cap default
 	obsv.SetDefault(reg)
 	t.Cleanup(func() { obsv.SetDefault(nil) })
-	net, lib, ctrl := testEngine(t)
-	intake := ctrl.NewIntake(opts)
-	t.Cleanup(func() { intake.Close(context.Background()) })
-	ts := httptest.NewServer(newServer(net, lib, ctrl, intake, reg).mux())
+	nw, lib := testEngine(t)
+	f, err := repro.NewFleet(
+		[]repro.FleetMember{{Name: "net0", Net: nw, Library: lib}},
+		repro.FleetOptions{Intake: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close(context.Background()) })
+	ts := httptest.NewServer(newServer(f, []member{{name: "net0", net: nw, lib: lib}}, opts.RetryAfter, reg).mux())
 	t.Cleanup(ts.Close)
-	return ts, lib, intake
+	return ts, lib, f
 }
 
-// testEngine builds the network, library and controller every daemon
-// test serves; the registry install is the caller's business.
-func testEngine(t *testing.T) (*repro.Network, *repro.Library, *repro.Controller) {
+// testEngine builds the network and library every daemon test serves;
+// the registry install is the caller's business.
+func testEngine(t *testing.T) (*repro.Network, *repro.Library) {
 	t.Helper()
 	net, err := repro.NewNetwork(repro.NetworkSpec{Topology: "rand", Nodes: 8, Links: 32, Seed: 3})
 	if err != nil {
@@ -59,11 +65,12 @@ func testEngine(t *testing.T) (*repro.Network, *repro.Library, *repro.Controller
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := net.NewController(lib)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return net, lib, ctrl
+	return net, lib
+}
+
+// intakeStats returns the single test shard's admission ledger.
+func intakeStats(f *repro.Fleet) repro.IntakeStats {
+	return f.FleetState().Shards[0].Intake
 }
 
 func getJSON(t *testing.T, url string, out any) {
@@ -102,21 +109,25 @@ func postJSON(t *testing.T, url string, body any, out any) int {
 }
 
 func TestServerEndpoints(t *testing.T) {
-	ts, lib, intake := testServer(t)
+	ts, lib, f := testServer(t)
 
-	var health map[string]string
+	var health struct {
+		Status   string   `json:"status"`
+		Networks []string `json:"networks"`
+	}
 	getJSON(t, ts.URL+"/healthz", &health)
-	if health["status"] != "ok" {
-		t.Fatalf("healthz %v", health)
+	if health.Status != "ok" || len(health.Networks) != 1 || health.Networks[0] != "net0" {
+		t.Fatalf("healthz %+v", health)
 	}
 
 	var cfg struct {
+		Network string   `json:"network"`
 		Nodes   int      `json:"nodes"`
 		Links   int      `json:"links"`
 		Configs []string `json:"configs"`
 	}
 	getJSON(t, ts.URL+"/config", &cfg)
-	if cfg.Nodes != 8 || cfg.Links != 32 || len(cfg.Configs) != lib.Size() {
+	if cfg.Network != "net0" || cfg.Nodes != 8 || cfg.Links != 32 || len(cfg.Configs) != lib.Size() {
 		t.Fatalf("config %+v", cfg)
 	}
 
@@ -125,7 +136,7 @@ func TestServerEndpoints(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-down", Link: 3}, nil); code != http.StatusAccepted {
 		t.Fatalf("observe returned %d", code)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	var st repro.ControllerState
 	getJSON(t, ts.URL+"/state", &st)
 	if len(st.DownLinks) != 1 || st.DownLinks[0] != 3 {
@@ -153,7 +164,7 @@ func TestServerEndpoints(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "link-up", Link: 3}, nil); code != http.StatusAccepted {
 		t.Fatalf("observe link-up returned %d", code)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -162,10 +173,14 @@ func TestServerEndpoints(t *testing.T) {
 	resp.Body.Close()
 	metrics := string(body)
 	for _, want := range []string{
-		"dtrd_events_total 2",
-		"dtrd_down_links 0",
+		`dtrd_events_total{network="net0"} 2`,
+		`dtrd_down_links{network="net0"} 0`,
 		"dtrd_config_sla_violations{config=",
 		`dtrd_http_requests_total{path="/observe"} 2`,
+		// Fleet families surface through the same registry.
+		"fleet_shards 1",
+		`fleet_shard_up{network="net0"} 1`,
+		`fleet_events_total{network="net0"} 2`,
 		// Engine metrics surface through the same registry: repair vs
 		// fresh-Dijkstra counts, the session event-class mix, per-event-
 		// class controller latencies, and per-path HTTP latencies.
@@ -226,7 +241,7 @@ func TestServerEndpoints(t *testing.T) {
 // deltas dedupe without fanning out, a base restore returns the exact
 // starting scores, and malformed deltas surface as 400s.
 func TestServerObserveDemandDelta(t *testing.T) {
-	ts, _, intake := testServer(t)
+	ts, _, f := testServer(t)
 
 	var before repro.ControllerState
 	getJSON(t, ts.URL+"/state", &before)
@@ -238,7 +253,7 @@ func TestServerObserveDemandDelta(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/observe", surge, nil); code != http.StatusAccepted {
 		t.Fatalf("observe demand-delta returned %d", code)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	var st repro.ControllerState
 	getJSON(t, ts.URL+"/state", &st)
 	if st.Events != 1 {
@@ -252,7 +267,7 @@ func TestServerObserveDemandDelta(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/observe", surge, nil); code != http.StatusAccepted {
 		t.Fatalf("duplicate demand-delta returned %d", code)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	getJSON(t, ts.URL+"/state", &st)
 	if st.Events != 1 {
 		t.Fatalf("duplicate delta counted: events = %d", st.Events)
@@ -262,7 +277,7 @@ func TestServerObserveDemandDelta(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/observe", repro.ControlEvent{Kind: "demand-scale", Scale: 1}, nil); code != http.StatusAccepted {
 		t.Fatalf("base restore returned %d", code)
 	}
-	intake.Quiesce()
+	f.QuiesceAll()
 	getJSON(t, ts.URL+"/state", &st)
 	if st.Deployed != before.Deployed {
 		t.Fatalf("deployed evaluation did not return to base: %+v vs %+v", st.Deployed, before.Deployed)
@@ -283,7 +298,7 @@ func TestServerObserveDemandDelta(t *testing.T) {
 // goroutines; run under -race (CI does) this is the daemon's
 // concurrency acceptance test.
 func TestServerConcurrentRequests(t *testing.T) {
-	ts, lib, intake := testServer(t)
+	ts, lib, f := testServer(t)
 	const workers = 8
 	const iters = 12
 
@@ -391,8 +406,8 @@ func TestServerConcurrentRequests(t *testing.T) {
 
 	// After the hammering stops, the queue must drain completely and the
 	// admission ledger must balance: everything accepted was delivered.
-	intake.Quiesce()
-	st := intake.Stats()
+	f.QuiesceAll()
+	st := intakeStats(f)
 	if st.Depth != 0 || st.Accepted != st.Delivered {
 		t.Errorf("intake did not reconcile after drain: %+v", st)
 	}

@@ -2,10 +2,9 @@ package repro
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/ctrl"
-	"repro/internal/obsv"
+	"repro/internal/fleet"
 	"repro/internal/routing"
 	"repro/internal/scenario"
 	"repro/internal/traffic"
@@ -145,6 +144,11 @@ type DemandDeltaEntry = traffic.DeltaEntry
 type ControlEvent struct {
 	// Kind is "link-down", "link-up", "demand-scale" or "demand-delta".
 	Kind string
+	// Network names the network the event belongs to, for fleet
+	// deployments (Fleet routes each event to the named shard; an empty
+	// Network means the fleet's default, first-configured network). A
+	// single-network Controller ignores it.
+	Network string
 	// Link is the directed link index of a link event.
 	Link int
 	// Scale multiplies the base demand matrices of both classes on a
@@ -165,14 +169,13 @@ type ControlEvent struct {
 // configuration scored incrementally (one persistent session per
 // configuration), advises which configuration fits the conditions
 // best, and plans bounded-change migrations toward it. It is safe for
-// concurrent use.
+// concurrent use. The core logic lives in internal/fleet (one
+// Controller per fleet shard); this facade adds wire-event conversion.
+// Multi-network deployments wrap one core per network in a Fleet.
 type Controller struct {
-	mu       sync.Mutex
-	net      *Network
-	lib      *Library
-	sel      *ctrl.Selector
-	deployed *routing.WeightSetting
-	active   int // library index the deployed weights equal, -1 mid-migration
+	net  *Network
+	lib  *Library
+	core *fleet.Controller
 }
 
 // SetParallelism sets the recompute worker budget of every candidate
@@ -180,41 +183,38 @@ type Controller struct {
 // means GOMAXPROCS, 1 (the default) keeps each session serial. Results
 // are bit-identical at every setting; workers trade only the wall-clock
 // latency of Observe on large topologies.
-func (c *Controller) SetParallelism(k int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.sel.SetParallelism(k)
-}
+func (c *Controller) SetParallelism(k int) { c.core.SetParallelism(k) }
 
 // NewController starts a controller on the intact network with base
 // traffic, deploying the library configuration that scores best there.
 func (n *Network) NewController(lib *Library) (*Controller, error) {
+	core, err := n.newCore(lib)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{net: n, lib: lib, core: core}, nil
+}
+
+// newCore builds the fleet-layer controller core for this network and
+// library (NewController wraps one; Fleet shards build their own so
+// crash recovery can rebuild them).
+func (n *Network) newCore(lib *Library) (*fleet.Controller, error) {
 	if lib == nil {
 		return nil, fmt.Errorf("repro: nil library")
 	}
 	if lib.net != n {
 		return nil, fmt.Errorf("repro: library was built for a different network")
 	}
-	sel, err := ctrl.NewSelector(n.ev, lib.lib)
-	if err != nil {
-		return nil, err
-	}
-	c := &Controller{net: n, lib: lib, sel: sel}
-	best, _ := sel.Advise()
-	c.active = best
-	c.deployed = lib.lib.Entries[best].W.Clone()
-	return c, nil
+	return fleet.NewController(n.ev, lib.lib)
 }
 
 // Observe folds one telemetry event into the controller.
 func (c *Controller) Observe(e ControlEvent) error {
-	ev, err := c.toEvent(e)
+	ev, err := c.net.toEvent(e)
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sel.Observe(ev)
+	return c.core.Observe(ev)
 }
 
 // ObserveBatch folds an ordered batch of telemetry events into the
@@ -228,16 +228,14 @@ func (c *Controller) ObserveBatch(events []ControlEvent) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sel.ObserveBatch(evs, 0, 0)
+	return c.core.ObserveBatch(evs, 0, 0)
 }
 
 // toEvent converts one wire event to the engine's scenario event. It
 // holds no lock: it reads only the immutable base demand matrices, so
 // the intake queue can convert batches without serializing against
 // selector work.
-func (c *Controller) toEvent(e ControlEvent) (scenario.Event, error) {
+func (n *Network) toEvent(e ControlEvent) (scenario.Event, error) {
 	switch e.Kind {
 	case "link-down":
 		return scenario.Event{Kind: scenario.EventLinkDown, Link: e.Link, Label: e.Label}, nil
@@ -249,8 +247,8 @@ func (c *Controller) toEvent(e ControlEvent) (scenario.Event, error) {
 		}
 		ev := scenario.Event{Kind: scenario.EventDemand, Label: e.Label}
 		if e.Scale != 0 && e.Scale != 1 {
-			ev.DemD = c.net.demD.Clone().Scale(e.Scale)
-			ev.DemT = c.net.demT.Clone().Scale(e.Scale)
+			ev.DemD = n.demD.Clone().Scale(e.Scale)
+			ev.DemT = n.demT.Clone().Scale(e.Scale)
 		}
 		return ev, nil
 	case "demand-delta":
@@ -261,16 +259,16 @@ func (c *Controller) toEvent(e ControlEvent) (scenario.Event, error) {
 
 // toEvents converts and validates a whole batch without observing it,
 // so admission (the intake queue) can reject malformed batches before
-// they are queued. Selector.Validate reads only immutable shape state,
-// so this too runs without the controller lock.
+// they are queued. Validation reads only immutable shape state, so this
+// too runs without the controller lock.
 func (c *Controller) toEvents(events []ControlEvent) ([]scenario.Event, error) {
 	evs := make([]scenario.Event, len(events))
 	for i, e := range events {
-		ev, err := c.toEvent(e)
+		ev, err := c.net.toEvent(e)
 		if err != nil {
 			return nil, fmt.Errorf("event %d: %w", i, err)
 		}
-		if err := c.sel.Validate(ev); err != nil {
+		if err := c.core.Validate(ev); err != nil {
 			return nil, fmt.Errorf("event %d: %w", i, err)
 		}
 		evs[i] = ev
@@ -293,14 +291,7 @@ func (c *Controller) ReplayEpisode(set *ScenarioSet, i int, onset bool) error {
 	if !onset {
 		events = ep.Recovery
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range events {
-		if err := c.sel.Observe(e); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.core.ObserveBatch(events, 0, 0)
 }
 
 // Advice reports the configuration the controller would run now.
@@ -319,15 +310,16 @@ type Advice struct {
 // Advise scores every configuration under current conditions and
 // returns the best (lexicographic ⟨Λ, Φ⟩; ties to the lowest index).
 func (c *Controller) Advise() Advice {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	best, res := c.sel.Advise()
+	return adviceFrom(c.core.Advise())
+}
+
+func adviceFrom(a fleet.Advice) Advice {
 	return Advice{
-		Config:       best,
-		Name:         c.lib.lib.Entries[best].Name,
-		Evaluation:   toEval(&res),
-		Active:       c.active,
-		ShouldSwitch: best != c.active,
+		Config:       a.Config,
+		Name:         a.Name,
+		Evaluation:   toEval(&a.Result),
+		Active:       a.Active,
+		ShouldSwitch: a.ShouldSwitch,
 	}
 }
 
@@ -363,9 +355,10 @@ type MigrationPlan struct {
 	// post-plan weights and the full target under planning conditions.
 	Start, Final, TargetEval Evaluation
 
-	// base is the deployed weight setting the plan was computed from;
-	// Apply refuses a plan whose base no longer matches (stale plan).
-	base *routing.WeightSetting
+	// p is the fleet-layer plan this facade view was built from; Apply
+	// hands it back to the core, which refuses a plan whose base no
+	// longer matches the deployed weights (stale plan).
+	p *fleet.Plan
 }
 
 // Plan computes a bounded-change migration from the deployed weights to
@@ -375,43 +368,26 @@ type MigrationPlan struct {
 // of the endpoints. When the budget binds, the plan is a stage:
 // applying it and re-planning later continues the migration.
 func (c *Controller) Plan(target, maxChanges int) (*MigrationPlan, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.planLocked(target, maxChanges)
-}
-
-func (c *Controller) planLocked(target, maxChanges int) (*MigrationPlan, error) {
-	if target < 0 || target >= c.lib.lib.Size() {
-		return nil, fmt.Errorf("repro: configuration %d out of range [0,%d)", target, c.lib.lib.Size())
-	}
-	demD, demT := c.sel.Demands()
-	trace, root := c.sel.TraceContext()
-	p, err := ctrl.PlanMigration(c.net.ev, c.deployed, c.lib.lib.Entries[target].W, c.sel.Mask(), demD, demT, ctrl.PlanConfig{
-		MaxChanges: maxChanges,
-		// Bounded-change migration under live failures may have to pass
-		// through mildly degraded states; tolerate a small overshoot
-		// before declaring a step infeasible.
-		ViolationSlack: 2,
-		// Hang the planner's span off the trace of the telemetry event
-		// that prompted this migration.
-		Trace:  trace,
-		Parent: root,
-	})
+	p, err := c.core.Plan(target, maxChanges)
 	if err != nil {
 		return nil, err
 	}
+	return planFrom(p), nil
+}
+
+func planFrom(p *fleet.Plan) *MigrationPlan {
 	plan := &MigrationPlan{
-		Target:     target,
-		TargetName: c.lib.lib.Entries[target].Name,
-		Complete:   p.Complete,
-		Remaining:  p.Remaining,
-		Blocked:    p.Blocked,
-		Start:      toEval(&p.Start),
-		Final:      toEval(&p.Final),
-		TargetEval: toEval(&p.Target),
-		base:       c.deployed.Clone(),
+		Target:     p.Target,
+		TargetName: p.TargetName,
+		Complete:   p.P.Complete,
+		Remaining:  p.P.Remaining,
+		Blocked:    p.P.Blocked,
+		Start:      toEval(&p.P.Start),
+		Final:      toEval(&p.P.Final),
+		TargetEval: toEval(&p.P.Target),
+		p:          p,
 	}
-	for _, st := range p.Steps {
+	for _, st := range p.P.Steps {
 		plan.Steps = append(plan.Steps, MigrationStep{
 			Link:       st.Link,
 			Delay:      int(st.Delay),
@@ -420,7 +396,7 @@ func (c *Controller) planLocked(target, maxChanges int) (*MigrationPlan, error) 
 			LoopFree:   st.LoopFree,
 		})
 	}
-	return plan, nil
+	return plan
 }
 
 // Apply commits a plan's rewrites to the deployed weights. A complete
@@ -435,34 +411,10 @@ func (c *Controller) Apply(plan *MigrationPlan) error {
 	if plan == nil {
 		return fmt.Errorf("repro: nil plan")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if plan.base == nil {
+	if plan.p == nil {
 		return fmt.Errorf("repro: plan was not produced by Controller.Plan")
 	}
-	if !c.deployed.Equal(plan.base) {
-		return fmt.Errorf("repro: stale plan: deployed weights changed since it was computed")
-	}
-	for _, st := range plan.Steps {
-		if st.Link < 0 || st.Link >= c.deployed.Len() {
-			return fmt.Errorf("repro: plan step link %d out of range", st.Link)
-		}
-	}
-	trace, root := c.sel.TraceContext()
-	sp := obsv.Default().Spans().StartAt("apply", trace, root)
-	sp.SetAttr("steps", int64(len(plan.Steps)))
-	for _, st := range plan.Steps {
-		c.deployed.Set(st.Link, int32(st.Delay), int32(st.Throughput))
-	}
-	sp.End()
-	c.active = -1
-	for i, e := range c.lib.lib.Entries {
-		if c.deployed.Equal(e.W) {
-			c.active = i
-			break
-		}
-	}
-	return nil
+	return c.core.Apply(plan.p)
 }
 
 // ConfigState is one configuration's live score.
@@ -490,29 +442,19 @@ type ControllerState struct {
 
 // State snapshots the controller's view of the network.
 func (c *Controller) State() ControllerState {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	return stateFrom(c.core.State())
+}
+
+func stateFrom(s fleet.State) ControllerState {
 	st := ControllerState{
-		Active:     c.active,
-		ActiveName: "partial-migration",
-		DownLinks:  c.sel.DownLinks(),
-		Events:     c.sel.Events(),
+		Active:     s.Active,
+		ActiveName: s.ActiveName,
+		Deployed:   toEval(&s.Deployed),
+		DownLinks:  s.DownLinks,
+		Events:     s.Events,
 	}
-	if c.active >= 0 {
-		// Deployed weights equal a library entry, whose bit-exact score
-		// the selector already caches.
-		st.ActiveName = c.lib.lib.Entries[c.active].Name
-		res := c.sel.Result(c.active)
-		st.Deployed = toEval(&res)
-	} else {
-		demD, demT := c.sel.Demands()
-		var res routing.Result
-		c.net.ev.EvaluateDemands(c.deployed, c.sel.Mask(), -1, demD, demT, &res)
-		st.Deployed = toEval(&res)
-	}
-	for i, e := range c.lib.lib.Entries {
-		r := c.sel.Result(i)
-		st.Configs = append(st.Configs, ConfigState{Name: e.Name, Evaluation: toEval(&r)})
+	for _, cs := range s.Configs {
+		st.Configs = append(st.Configs, ConfigState{Name: cs.Name, Evaluation: toEval(&cs.Result)})
 	}
 	return st
 }

@@ -53,8 +53,26 @@
 //	    ctrl.Apply(plan)
 //	}
 //
-// cmd/dtrd serves the same controller as a long-running HTTP/JSON
-// daemon with Prometheus-style metrics and scenario-set replay.
+// To serve several networks from one process, NewFleet shards the
+// control plane: one controller shard per network, each behind its own
+// asynchronous intake queue with an independent lifecycle and crash
+// isolation, and — when a checkpoint directory is configured — durable
+// checkpoint/restore (snapshot + write-ahead event log) that recovers
+// a bit-identical controller. Telemetry routes to shards by the
+// ControlEvent Network field:
+//
+//	f, _ := repro.NewFleet([]repro.FleetMember{
+//	    {Name: "east", Net: east, Library: eastLib},
+//	    {Name: "west", Net: west, Library: westLib},
+//	}, repro.FleetOptions{CheckpointDir: "ckpt"})
+//	f.Enqueue([]repro.ControlEvent{{Kind: "link-down", Link: 3, Network: "west"}})
+//	f.Quiesce("west")
+//	adv, _ := f.Advise("west")
+//
+// cmd/dtrd serves a controller fleet as a long-running HTTP/JSON
+// daemon — one network by default, several with -networks — with
+// durable checkpoints, Prometheus-style metrics and scenario-set
+// replay; docs/OPERATIONS.md is the operator's guide.
 //
 // The implementation lives in internal packages, one per subsystem (see
 // DESIGN.md for the inventory); the experiment harness that regenerates

@@ -12,6 +12,9 @@
 // weight changes at the right moments) buys violations a fixed
 // configuration cannot avoid.
 //
+// This tour drives one network; examples/fleet runs the same loop
+// across several networks at once through the sharded Fleet facade.
+//
 // Run with: go run ./examples/controlplane
 package main
 

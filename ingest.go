@@ -65,19 +65,10 @@ type Intake struct {
 	in *ingest.Intake
 }
 
-// observeSink adapts the controller to the ingest delivery interface,
-// threading the delivery span's trace context into the selector so
-// observe spans join the ingest trace.
-type observeSink struct{ c *Controller }
-
-func (s observeSink) ObserveBatch(events []scenario.Event, trace, parent uint64) error {
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
-	return s.c.sel.ObserveBatch(events, trace, parent)
-}
-
 // NewIntake starts an intake queue delivering into the controller.
-// Call Close to drain and stop it.
+// Call Close to drain and stop it. The controller core's ObserveBatch
+// is the delivery sink, threading the delivery span's trace context
+// into the selector so observe spans join the ingest trace.
 func (c *Controller) NewIntake(opts IntakeOptions) *Intake {
 	cfg := ingest.Config{
 		Capacity:   opts.Capacity,
@@ -94,7 +85,7 @@ func (c *Controller) NewIntake(opts IntakeOptions) *Intake {
 			tap(labels)
 		}
 	}
-	return &Intake{c: c, in: ingest.New(cfg, observeSink{c})}
+	return &Intake{c: c, in: ingest.New(cfg, c.core)}
 }
 
 // Enqueue validates and admits a batch of telemetry events, whole or

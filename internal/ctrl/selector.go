@@ -384,6 +384,61 @@ func (s *Selector) observe(e scenario.Event, trace, parent uint64) error {
 	return nil
 }
 
+// Restore rebases a freshly built selector onto checkpointed
+// conditions: the listed directed links down, the given per-class
+// demand overrides in effect (nil = the base traffic of that class),
+// and the events counter at events. The selector takes ownership of
+// non-nil matrices — callers must pass private copies. The conditions
+// fold into every candidate session through the same incremental paths
+// a live telemetry stream takes, so the restored candidate scores are
+// bit-identical to those of a selector that observed the original
+// events (internal/fleet builds its crash recovery on this). Restore
+// must run before any telemetry: calling it on a selector that already
+// consumed events corrupts the down-link bookkeeping.
+func (s *Selector) Restore(down []int, demD, demT *traffic.Matrix, events int) error {
+	if s.events != 0 || s.ndown != 0 || s.demD != nil || s.demT != nil {
+		return fmt.Errorf("ctrl: Restore on a selector that already consumed telemetry")
+	}
+	n := s.ev.Graph().NumNodes()
+	if demD != nil && demD.Size() != n {
+		return fmt.Errorf("ctrl: restored demand matrix size %d does not match %d nodes", demD.Size(), n)
+	}
+	if demT != nil && demT.Size() != n {
+		return fmt.Errorf("ctrl: restored demand matrix size %d does not match %d nodes", demT.Size(), n)
+	}
+	if events < 0 {
+		return fmt.Errorf("ctrl: negative restored event count %d", events)
+	}
+	for _, li := range down {
+		if li < 0 || li >= len(s.down) {
+			return fmt.Errorf("ctrl: restored down link %d out of range [0,%d)", li, len(s.down))
+		}
+	}
+	changes := make([]routing.LinkStateChange, 0, len(down))
+	for _, li := range down {
+		if s.down[li] {
+			continue // duplicate in the checkpoint: one transition suffices
+		}
+		s.down[li] = true
+		s.ndown++
+		changes = append(changes, routing.LinkStateChange{Link: li, Up: false})
+	}
+	if len(changes) > 0 {
+		s.each(func(ses *routing.Session) { ses.SetLinkStates(changes) })
+	}
+	if demD != nil || demT != nil {
+		// Mirror the dense-event path: sessions alias the matrices passed
+		// to SetDemands, so the selector must not claim in-place mutation
+		// rights over them — a later delta clones first (clone-on-write),
+		// exactly as after an EventDemand.
+		s.demD, s.demT = demD, demT
+		s.ownsDemD, s.ownsDemT = false, false
+		s.each(func(ses *routing.Session) { ses.SetDemands(demD, demT) })
+	}
+	s.events = events
+	return nil
+}
+
 // TraceContext returns the trace and root-span IDs of the most recent
 // traced Observe fan-out (both zero while span recording is disabled),
 // so callers can attach downstream decision spans — the migration plan,

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ingest"
+	"repro/internal/scenario"
+)
+
+// ErrUnknownNetwork rejects telemetry naming a network no shard serves.
+var ErrUnknownNetwork = errors.New("fleet: unknown network")
+
+// Coordinator owns a fleet of controller shards, one per network, and
+// routes work to them by network name. Shards are fully independent:
+// each has its own controller, intake queue and checkpoint, a crash in
+// one never touches the others, and fleet capacity scales by adding
+// shards. The shard set is fixed at construction; all methods are safe
+// for concurrent use.
+type Coordinator struct {
+	order  []string
+	shards map[string]*Shard
+}
+
+// NewCoordinator builds one shard per config, in order. Construction is
+// all-or-nothing: if any shard fails to build (factory error), the ones
+// already built are closed and the error is returned.
+func NewCoordinator(cfgs []ShardConfig) (*Coordinator, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("fleet: coordinator needs at least one shard")
+	}
+	names := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		names[i] = cfg.Network
+	}
+	register(names)
+	co := &Coordinator{shards: make(map[string]*Shard, len(cfgs))}
+	for _, cfg := range cfgs {
+		if _, dup := co.shards[cfg.Network]; dup {
+			co.closeAll()
+			return nil, fmt.Errorf("fleet: duplicate network %q", cfg.Network)
+		}
+		s, err := NewShard(cfg)
+		if err != nil {
+			co.closeAll()
+			return nil, fmt.Errorf("fleet: shard %s: %w", cfg.Network, err)
+		}
+		co.order = append(co.order, cfg.Network)
+		co.shards[cfg.Network] = s
+	}
+	return co, nil
+}
+
+func (co *Coordinator) closeAll() {
+	for _, name := range co.order {
+		co.shards[name].Close(context.Background())
+	}
+}
+
+// Networks lists the shard networks in construction order.
+func (co *Coordinator) Networks() []string {
+	out := make([]string, len(co.order))
+	copy(out, co.order)
+	return out
+}
+
+// Shard returns the named shard, or ErrUnknownNetwork.
+func (co *Coordinator) Shard(network string) (*Shard, error) {
+	s, ok := co.shards[network]
+	if !ok {
+		if m := met.Get(); m != nil {
+			m.unknown.Inc()
+		}
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownNetwork, network, co.order)
+	}
+	return s, nil
+}
+
+// Enqueue routes a batch to the named network's shard.
+func (co *Coordinator) Enqueue(network string, events []scenario.Event) (ingest.Result, error) {
+	s, err := co.Shard(network)
+	if err != nil {
+		return ingest.Result{}, err
+	}
+	return s.Enqueue(events)
+}
+
+// Status snapshots every shard, in construction order.
+func (co *Coordinator) Status() []ShardStatus {
+	out := make([]ShardStatus, 0, len(co.order))
+	for _, name := range co.order {
+		out = append(out, co.shards[name].Status())
+	}
+	return out
+}
+
+// CheckpointAll checkpoints every durable shard, continuing past
+// failures and returning them joined.
+func (co *Coordinator) CheckpointAll() error {
+	var errs []error
+	for _, name := range co.order {
+		if err := co.shards[name].Checkpoint(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RefreshMetrics updates every shard's intake gauges; the daemon calls
+// it at metrics scrape.
+func (co *Coordinator) RefreshMetrics() {
+	for _, name := range co.order {
+		co.shards[name].RefreshMetrics()
+	}
+}
+
+// Close drains and closes every shard concurrently (each drain flushes
+// a final checkpoint when the shard is durable and healthy) and returns
+// the shards' errors joined.
+func (co *Coordinator) Close(ctx context.Context) error {
+	errs := make([]error, len(co.order))
+	var wg sync.WaitGroup
+	wg.Add(len(co.order))
+	for i, name := range co.order {
+		go func() {
+			defer wg.Done()
+			errs[i] = co.shards[name].Close(ctx)
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

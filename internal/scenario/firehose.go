@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/graph"
@@ -66,5 +67,34 @@ func Firehose(g *graph.Graph, set Set, cfg FirehoseConfig) []TimedBatch {
 			Events: stream[start:end:end],
 		})
 	}
+	return out
+}
+
+// NetworkBatch is one batch of a fleet-wide firehose: a TimedBatch
+// tagged with the network whose shard must consume it.
+type NetworkBatch struct {
+	Network string
+	TimedBatch
+}
+
+// MergeFirehoses interleaves per-network firehose streams into one
+// fleet-wide stream ordered by replay offset, breaking ties by network
+// name so the merge is deterministic. Each network's batches keep their
+// relative order, so replaying the merged stream — routing every batch
+// to its network's shard — drives each shard exactly as replaying its
+// own stream alone would.
+func MergeFirehoses(streams map[string][]TimedBatch) []NetworkBatch {
+	var out []NetworkBatch
+	for name, batches := range streams {
+		for _, b := range batches {
+			out = append(out, NetworkBatch{Network: name, TimedBatch: b})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Network < out[j].Network
+	})
 	return out
 }
